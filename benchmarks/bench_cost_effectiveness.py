@@ -1,0 +1,55 @@
+"""§5.6.1 cost-effectiveness table.
+
+Paper numbers: one kWh ↦ ~72,300 conversions of ~1.5 MB images ↦ ~24 GiB
+saved permanently; break-even electricity price vs a depowered $120 5-TB
+drive ≈ $0.58/kWh; each Xeon backfills 5.75 images/s ⇒ ~181.5M images/year
+⇒ ~58.8 TiB saved per server-year (≈$9,031/yr at S3-IA pricing).
+"""
+
+import pytest
+
+from _harness import emit
+from repro.analysis.tables import format_table
+from repro.storage.power import (
+    BACKFILL_MACHINES,
+    CONVERSIONS_PER_SECOND,
+    MEAN_IMAGE_BYTES,
+    SAVINGS_FRACTION,
+    PowerModel,
+)
+
+S3_IA_DOLLARS_PER_GIB_YEAR = 3.60 / 24.0  # $3.60/yr for 24 GiB (paper)
+SECONDS_PER_YEAR = 365.25 * 86400
+
+
+def test_cost_effectiveness_table(benchmark):
+    model = benchmark.pedantic(PowerModel, rounds=1, iterations=1)
+    conversions_per_kwh = model.conversions_per_kwh()
+    gib_per_kwh = model.gib_saved_per_kwh()
+    breakeven = model.breakeven_kwh_price()
+    per_server_rate = CONVERSIONS_PER_SECOND / BACKFILL_MACHINES
+    images_per_year = per_server_rate * SECONDS_PER_YEAR
+    tib_saved_per_server_year = (
+        images_per_year * MEAN_IMAGE_BYTES * SAVINGS_FRACTION / (1024.0**4)
+    )
+    s3_value = tib_saved_per_server_year * 1024 * S3_IA_DOLLARS_PER_GIB_YEAR
+
+    emit("cost_effectiveness", format_table(
+        ["metric", "measured", "paper"],
+        [
+            ["conversions per kWh", conversions_per_kwh, 72_300],
+            ["GiB saved per kWh", gib_per_kwh, 24.0],
+            ["break-even $/kWh vs dark drive", breakeven, 0.58],
+            ["images per server-second", per_server_rate, 5.75],
+            ["images per server-year (M)", images_per_year / 1e6, 181.5],
+            ["TiB saved per server-year", tib_saved_per_server_year, 58.8],
+            ["S3-IA value per server-year ($)", s3_value, 9_031],
+        ],
+        title="§5.6.1 — cost effectiveness",
+        float_format="{:.2f}",
+    ))
+    assert conversions_per_kwh == pytest.approx(72_300, rel=0.01)
+    assert gib_per_kwh == pytest.approx(24.0, rel=0.05)
+    assert breakeven == pytest.approx(0.58, abs=0.03)
+    assert per_server_rate == pytest.approx(5.79, abs=0.1)
+    assert tib_saved_per_server_year == pytest.approx(58.8, rel=0.08)

@@ -1,0 +1,60 @@
+"""Figure 10: compression-latency percentiles per strategy × threshold.
+
+Paper: at peak, outsourcing halves the p99 (1.63 s → 1.08 s) and cuts the
+p95 by ~25%; To-dedicated helps the p99 most, while To-self also reduces
+the p50 by removing hotspots.  §5.5 also reports the 7.9% TCP-vs-unix-
+socket overhead, asserted here directly from the model constant.
+"""
+
+from _harness import SCALE, emit
+from repro.analysis.tables import format_table
+from repro.storage.fleet import FleetConfig, FleetSim
+from repro.storage.outsourcing import TCP_OVERHEAD, Strategy
+
+DURATION_HOURS = 1.5 * SCALE
+
+
+def _run(strategy, threshold, seed=16):
+    config = FleetConfig(duration_hours=DURATION_HOURS, strategy=strategy,
+                         threshold=threshold, burst_mean=8.0, seed=seed)
+    return FleetSim(config).run()
+
+
+def test_fig10_outsourcing_latency(benchmark):
+    grid = [(Strategy.CONTROL, 3), (Strategy.TO_SELF, 3), (Strategy.TO_SELF, 4),
+            (Strategy.TO_DEDICATED, 3), (Strategy.TO_DEDICATED, 4)]
+    metrics = benchmark.pedantic(
+        lambda: {key: _run(*key) for key in grid}, rounds=1, iterations=1
+    )
+    rows = []
+    p = {}
+    for (strategy, threshold), m in metrics.items():
+        pct = m.latency_percentiles("lepton_encode")
+        p[(strategy, threshold)] = pct
+        rows.append([strategy.value, threshold, pct[50], pct[75], pct[95],
+                     pct[99], m.outsourced_fraction()])
+    emit("fig10_latency", format_table(
+        ["strategy", "threshold", "p50(s)", "p75(s)", "p95(s)", "p99(s)",
+         "outsourced"],
+        rows,
+        title="Figure 10 — encode latency percentiles at peak "
+              "(paper: outsourcing halves p99 1.63→1.08 s; to-self also "
+              "cuts p50)",
+    ))
+    control = p[(Strategy.CONTROL, 3)]
+    dedicated = p[(Strategy.TO_DEDICATED, 3)]
+    to_self = p[(Strategy.TO_SELF, 3)]
+    # Outsourcing cuts the tail substantially...
+    assert dedicated[99] < 0.8 * control[99]
+    assert to_self[99] < control[99]
+    # ...and p95 benefits too.
+    assert dedicated[95] < control[95]
+    # To-self rebalancing also helps the median (fewer hotspots).
+    assert to_self[50] <= control[50] * 1.02
+
+
+def test_tcp_overhead_constant(benchmark):
+    """§5.5: "The overhead from switching from a Unix-domain socket to a
+    remote TCP socket was 7.9% on average"."""
+    benchmark.pedantic(lambda: TCP_OVERHEAD, rounds=1, iterations=1)
+    assert TCP_OVERHEAD == 0.079

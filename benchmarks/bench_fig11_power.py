@@ -1,0 +1,40 @@
+"""Figure 11: datacenter power across a backfill outage.
+
+Paper (Sept 26, 2016): the fleet idles at ~278 kW with backfill running
+~5,600 conversions/s; during the outage "the power usage dropped by
+121 kW" and conversions fell to zero, then both stepped back up on resume.
+"""
+
+import pytest
+
+from _harness import emit
+from repro.analysis.tables import format_table
+from repro.storage.power import BACKFILL_DYNAMIC_KW, power_timeseries
+
+
+def test_fig11_power_series(benchmark):
+    series = benchmark.pedantic(
+        lambda: power_timeseries(hours=30, outage_start=9, outage_end=15,
+                                 sample_minutes=30, seed=17),
+        rounds=1, iterations=1,
+    )
+    rows = [[t, kw, cps] for t, kw, cps in series]
+    from repro.analysis.charts import line_chart
+
+    table = format_table(
+        ["hour", "chassis power (kW)", "conversions/s"],
+        rows,
+        title="Figure 11 — power and conversion rate across the outage "
+              "(paper: ~278 kW, −121 kW during outage, ~5,583 conv/s)",
+        float_format="{:.1f}",
+    )
+    chart = line_chart([kw for _, kw, _ in series], height=6,
+                       title="chassis kW over the outage window:")
+    emit("fig11_power", table + "\n\n" + chart)
+    during = [(kw, cps) for t, kw, cps in series if 10 <= t < 14]
+    outside = [(kw, cps) for t, kw, cps in series if t < 8 or t > 16]
+    avg_during = sum(k for k, _ in during) / len(during)
+    avg_outside = sum(k for k, _ in outside) / len(outside)
+    assert avg_outside - avg_during == pytest.approx(BACKFILL_DYNAMIC_KW, rel=0.07)
+    assert max(c for _, c in during) == 0.0
+    assert min(c for _, c in outside) > 5000

@@ -1,0 +1,38 @@
+"""Figure 13: the decode:encode ratio ramp after roll-out ("boiling the frog").
+
+Paper (Apr 20 – Jun 29, 2016): the ratio starts near zero — old photos are
+Deflate-compressed, only new uploads need Lepton decodes — and climbs past
+1.0 within ~two months, with weekly modulation, eventually settling between
+1.5× and 2×.
+"""
+
+from _harness import emit
+from repro.analysis.tables import format_table
+from repro.storage.workload import RolloutModel
+
+
+def test_fig13_decode_encode_ramp(benchmark):
+    model = RolloutModel()
+    series = benchmark.pedantic(
+        lambda: model.ratio_series(days=98, seed=21), rounds=1, iterations=1
+    )
+    weekly = []
+    for week in range(14):
+        chunk = [r for d, r in series[week * 7 : (week + 1) * 7]]
+        weekly.append([week, sum(chunk) / len(chunk)])
+    from repro.analysis.charts import line_chart
+
+    table = format_table(
+        ["week since rollout", "decode:encode ratio"],
+        weekly,
+        title="Figure 13 — ratio ramp (paper: ~0 → >1.5 over ~10 weeks)",
+        float_format="{:.2f}",
+    )
+    chart = line_chart([r for _, r in series], height=6,
+                       title="daily decode:encode ratio:")
+    emit("fig13_ramp", table + "\n\n" + chart)
+    assert weekly[0][1] < 0.5
+    assert weekly[-1][1] > 1.0
+    ratios = [r for _, r in weekly]
+    # Broadly monotone ramp (small weekly wiggle allowed).
+    assert sum(1 for a, b in zip(ratios, ratios[1:]) if b >= a - 0.05) >= 10

@@ -1,0 +1,65 @@
+"""Figure 14: decode latency percentiles over the months after roll-out.
+
+Paper (Apr–Aug 2016): as the decode:encode ratio ramped (Figure 13) on a
+fleet provisioned for the early, low ratio, peak p99 decode latency climbed
+into the multi-second range — until the outsourcing system (§5.5) shipped
+and brought it back down.  We replay that history: a fleet sim per "month"
+with the ramping decode rate, control strategy throughout, then dedicated
+outsourcing in the final period.
+"""
+
+from _harness import SCALE, emit
+from repro.analysis.tables import format_table
+from repro.storage.fleet import FleetConfig, FleetSim
+from repro.storage.outsourcing import Strategy
+
+#: (label, decode:encode ratio, outsourcing on?)
+PERIODS = [
+    ("Apr", 0.2, False),
+    ("May", 0.7, False),
+    ("Jun", 1.2, False),
+    ("Jul", 1.8, False),
+    ("Aug", 1.8, True),  # outsourcing ships
+]
+
+
+def _run(ratio, outsourced):
+    config = FleetConfig(
+        duration_hours=0.75 * SCALE,
+        strategy=Strategy.TO_DEDICATED if outsourced else Strategy.CONTROL,
+        threshold=3,
+        decode_to_encode=ratio,
+        burst_mean=8.0,
+        seed=23,
+    )
+    return FleetSim(config).run().latency_percentiles("lepton_decode")
+
+
+def test_fig14_latency_history(benchmark):
+    history = benchmark.pedantic(
+        lambda: [(label, _run(ratio, out)) for label, ratio, out in PERIODS],
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [label, pct[50], pct[75], pct[95], pct[99]]
+        for label, pct in history
+    ]
+    from repro.analysis.charts import multi_series
+
+    table = format_table(
+        ["period", "p50(s)", "p75(s)", "p95(s)", "p99(s)"],
+        rows,
+        title="Figure 14 — decode latency percentiles over the rollout "
+              "(paper: p99 climbs to seconds, drops when outsourcing ships)",
+    )
+    chart = multi_series(
+        ["p50", "p99"],
+        [[pct[50] for _, pct in history], [pct[99] for _, pct in history]],
+        title="Apr..Aug (outsourcing ships in Aug):",
+    )
+    emit("fig14_history", table + "\n\n" + chart)
+    p99 = {label: pct[99] for label, pct in history}
+    # The tail degrades as the decode load ramps...
+    assert p99["Jul"] > p99["Apr"]
+    # ...and recovers when outsourcing ships at the same load.
+    assert p99["Aug"] < p99["Jul"]

@@ -1,0 +1,43 @@
+"""Figure 6: compression savings are uniform across file sizes.
+
+Paper: savings cluster around 22.7% across 0–4 MiB files; small images
+still compress well because they get fewer threads (a higher proportion of
+the image trains each bin).  We sweep sizes with production-style
+size-based thread selection and check the flatness.
+"""
+
+from _harness import SCALE, emit
+from repro.analysis.tables import format_table
+from repro.core.lepton import LeptonConfig, compress
+from repro.corpus.builder import corpus_jpeg
+
+SIZES = [48, 64, 96, 128, 192, 256]
+
+
+def test_fig6_savings_by_size(benchmark):
+    def run():
+        rows = []
+        for px in SIZES:
+            for seed in range(max(2, int(2 * SCALE))):
+                data = corpus_jpeg(seed=6000 + seed, height=px, width=px,
+                                   quality=85)
+                result = compress(data, LeptonConfig())  # size-based threads
+                assert result.ok
+                rows.append((len(data), 100.0 * result.savings_fraction,
+                             result.stats.thread_count))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig6_savings_by_size", format_table(
+        ["file size (B)", "savings (%)", "threads"],
+        [[size, sav, thr] for size, sav, thr in sorted(rows)],
+        title="Figure 6 — savings vs file size (paper: uniform ≈22.7%)",
+        float_format="{:.1f}",
+    ))
+    savings = [s for _, s, _ in rows]
+    # Uniformity: all sizes compress, spread is moderate, and there is no
+    # strong size trend (small files keep 1 thread so bins train well).
+    assert min(savings) > 5.0
+    small = [s for size, s, _ in rows if size < 2000]
+    large = [s for size, s, _ in rows if size >= 2000]
+    assert abs(sum(small) / len(small) - sum(large) / len(large)) < 15.0

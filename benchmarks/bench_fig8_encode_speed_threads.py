@@ -1,0 +1,59 @@
+"""Figure 8: compression speed vs file size, per thread count.
+
+Paper: encode speed also rises with threads, "but it is almost unaffected
+by the benefit of moving to 8 threads from 4 ... because at 4 threads the
+bottleneck shifts to the JPEG Huffman decoder" — which the Lepton encoder
+must run serially (the decoder escapes this via handover words).  We
+measure the effective wall clock from ``encode_jpeg_timed``, whose serial
+head is exactly that Huffman decode + verification pass.
+"""
+
+from _harness import emit
+from repro.analysis.stats import mbits_per_second
+from repro.analysis.tables import format_table
+from repro.core.encoder import encode_jpeg_timed
+from repro.corpus.builder import corpus_jpeg
+
+SIZES = [96, 160, 256]
+THREADS = [1, 2, 4, 8]
+
+
+def _speed(px: int, threads: int):
+    data = corpus_jpeg(seed=8000, height=px, width=px, quality=88)
+    # Min of two runs: single timings are noisy under full-suite load.
+    effective = min(
+        encode_jpeg_timed(data, threads=threads)[1] for _ in range(2)
+    )
+    return len(data), mbits_per_second(len(data), effective)
+
+
+def test_fig8_encode_speed_by_threads(benchmark):
+    def run():
+        return {(px, t): _speed(px, t) for px in SIZES for t in THREADS}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [px, t, results[(px, t)][0], results[(px, t)][1]]
+        for px in SIZES for t in THREADS
+    ]
+    emit("fig8_encode_threads", format_table(
+        ["image px", "threads", "file size (B)", "effective enc (Mbps)"],
+        rows,
+        title="Figure 8 — encode speed vs size per thread count "
+              "(paper: 4→8 threads plateaus; serial Huffman decode "
+              "bottleneck)",
+        float_format="{:.3f}",
+    ))
+    largest = SIZES[-1]
+    speeds = {t: results[(largest, t)][1] for t in THREADS}
+    # Threads help at first...
+    assert speeds[2] > speeds[1] * 1.1
+    # ...but the serial Huffman-decode head bounds total speedup well below
+    # linear, and 4→8 gains far less than doubling (the Figure-8 plateau).
+    assert speeds[8] / speeds[1] < 6.0
+    gain_4_to_8 = speeds[8] / speeds[4]
+    assert gain_4_to_8 < 1.6
+    # The later doubling cannot meaningfully out-gain the earlier one
+    # (1.25x margin absorbs timing noise).
+    gain_2_to_4 = speeds[4] / speeds[2]
+    assert gain_4_to_8 < gain_2_to_4 * 1.25

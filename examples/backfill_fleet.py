@@ -1,0 +1,68 @@
+"""Backfilling old photos with spare capacity (§5.6).
+
+DropSpot allocates idle machines (2–4 h imaging), metaservers scan the
+sharded user table for ".jp" files and hash their 4-MiB chunks, and workers
+download/compress/triple-check/upload each chunk.  The run prints the
+§6.2-style exit-code table, the achieved savings, and the §5.6.1 power
+economics.
+
+Run:  python examples/backfill_fleet.py
+"""
+
+from repro.core.lepton import LeptonConfig
+from repro.corpus.builder import build_corpus
+from repro.storage.backfill import BackfillWorker, DropSpot, Metaserver, UserFile
+from repro.storage.power import PowerModel
+from repro.storage.simclock import SimClock
+
+
+def main() -> None:
+    # A small user population with photo-like filenames (plus decoys the
+    # metaserver's ".jp" filter must skip).
+    corpus = build_corpus(n_jpegs=10, seed=77)
+    users = {}
+    for i, item in enumerate(corpus):
+        users.setdefault(i % 4, []).append(UserFile(f"{item.name}.jpg", item.data))
+    users[0].append(UserFile("notes.txt", b"not a photo"))
+
+    # DropSpot: spare machines get imaged for Lepton duty.
+    clock = SimClock()
+    spot = DropSpot(clock, free_machines=28, allocate_above=20)
+    spot.poll()
+    clock.run_all()
+    print(f"DropSpot: {spot.active} machines active after imaging "
+          f"({clock.now / 3600:.1f} h)")
+
+    # Metaserver scan + workers.
+    meta = Metaserver(users, n_shards=2, chunk_size=4 * 1024 * 1024)
+    store = {}
+    total_stats = []
+    for shard in range(2):
+        worker = BackfillWorker(meta, store.__setitem__, LeptonConfig(threads=1))
+        worker.process_shard(shard)
+        total_stats.append(worker.stats)
+
+    chunks = sum(s.chunks_processed for s in total_stats)
+    bytes_in = sum(s.bytes_in for s in total_stats)
+    bytes_out = sum(s.bytes_out for s in total_stats)
+    print(f"\nbackfill: {chunks} chunks, {bytes_in} -> {bytes_out} bytes "
+          f"({100 * (1 - bytes_out / max(bytes_in, 1)):.1f}% saved)")
+
+    print("\nexit codes (§6.2):")
+    merged = {}
+    for stats in total_stats:
+        for code, count in stats.exit_codes.items():
+            merged[code] = merged.get(code, 0) + count
+    for code, count in sorted(merged.items(), key=lambda kv: -kv[1]):
+        print(f"  {code.value:24s} {count:4d}  ({100 * count / chunks:.1f}%)")
+
+    # §5.6.1 economics at production scale.
+    model = PowerModel()
+    print("\ncost effectiveness (§5.6.1):")
+    print(f"  conversions per kWh:  {model.conversions_per_kwh():,.0f}")
+    print(f"  GiB saved per kWh:    {model.gib_saved_per_kwh():.1f}")
+    print(f"  break-even $/kWh:     {model.breakeven_kwh_price():.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""A miniature Figure-2: every codec on the same corpus.
+
+Run:  python examples/codec_shootout.py
+"""
+
+import time
+
+from repro.analysis.tables import format_table
+from repro.baselines.registry import all_codecs
+from repro.corpus.builder import jpeg_sweep
+
+
+def main() -> None:
+    corpus = jpeg_sweep(4, seed=123, sizes=(96, 128))
+    rows = []
+    for codec in all_codecs():
+        bytes_in = bytes_out = 0
+        enc = dec = 0.0
+        for item in corpus:
+            bytes_in += len(item.data)
+            t0 = time.perf_counter()
+            payload = codec.compress(item.data)
+            enc += time.perf_counter() - t0
+            t1 = time.perf_counter()
+            out = codec.decompress(payload)
+            dec += time.perf_counter() - t1
+            assert out == item.data
+            bytes_out += len(payload)
+        rows.append([
+            codec.name,
+            100.0 * (1 - bytes_out / bytes_in),
+            enc, dec,
+            codec.substitution_note or "-",
+        ])
+    print(format_table(
+        ["codec", "savings(%)", "enc(s)", "dec(s)", "note"],
+        rows,
+        title="Codec shootout (paper Figure 2, miniature)",
+        float_format="{:.2f}",
+    ))
+
+
+if __name__ == "__main__":
+    main()

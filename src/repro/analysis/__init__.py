@@ -1,0 +1,6 @@
+"""Measurement helpers shared by the benchmark harness."""
+
+from repro.analysis.stats import Summary, percentile, summarize
+from repro.analysis.tables import format_table
+
+__all__ = ["Summary", "format_table", "percentile", "summarize"]

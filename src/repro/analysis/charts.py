@@ -1,0 +1,85 @@
+"""Terminal charts for the time-series figures.
+
+The deployment figures (5, 11, 12, 13, 14) are time series; a table of
+numbers hides their shape.  These helpers render compact ASCII charts so a
+bench run shows the step in Figure 11 or the ramp in Figure 13 directly in
+the terminal and in ``benchmarks/results/``.
+"""
+
+from typing import List, Optional, Sequence
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode sparkline of ``values``."""
+    data = [float(v) for v in values]
+    if not data:
+        return ""
+    lo, hi = min(data), max(data)
+    if hi == lo:
+        return _BARS[4] * len(data)
+    span = hi - lo
+    return "".join(
+        _BARS[1 + int((v - lo) / span * (len(_BARS) - 2))] for v in data
+    )
+
+
+def line_chart(
+    values: Sequence[float],
+    height: int = 8,
+    title: Optional[str] = None,
+    y_format: str = "{:8.1f}",
+) -> str:
+    """A block-character line chart with a y-axis, ``height`` rows tall."""
+    data = [float(v) for v in values]
+    if not data:
+        return title or ""
+    lo, hi = min(data), max(data)
+    span = hi - lo or 1.0
+    rows: List[str] = []
+    for row in range(height, 0, -1):
+        upper = lo + span * row / height
+        lower = lo + span * (row - 1) / height
+        cells = []
+        for v in data:
+            if v >= upper:
+                cells.append("█")
+            elif v > lower:
+                fraction = (v - lower) / (upper - lower)
+                cells.append(_BARS[1 + int(fraction * (len(_BARS) - 2))])
+            else:
+                cells.append(" ")
+        label = y_format.format(upper)
+        rows.append(f"{label} ┤{''.join(cells)}")
+    rows.append(f"{y_format.format(lo)} └" + "─" * len(data))
+    out = "\n".join(rows)
+    if title:
+        out = f"{title}\n{out}"
+    return out
+
+
+def multi_series(
+    labels: Sequence[str],
+    series: Sequence[Sequence[float]],
+    title: Optional[str] = None,
+) -> str:
+    """Several labelled sparklines sharing one global scale."""
+    flat = [v for s in series for v in s]
+    if not flat:
+        return title or ""
+    lo, hi = min(flat), max(flat)
+    span = (hi - lo) or 1.0
+    width = max(len(label) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, values in zip(labels, series):
+        scaled = [(v - lo) / span for v in values]
+        bars = "".join(
+            _BARS[1 + int(v * (len(_BARS) - 2))] if span else _BARS[4]
+            for v in scaled
+        )
+        lines.append(f"{label.ljust(width)} {bars}")
+    lines.append(f"{'scale'.ljust(width)} [{lo:.2f} .. {hi:.2f}]")
+    return "\n".join(lines)

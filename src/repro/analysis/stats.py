@@ -1,0 +1,72 @@
+"""Percentiles and distribution summaries for benchmark reporting."""
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (numpy-compatible) without numpy.
+
+    Kept dependency-free so the benches can summarise without importing
+    the array stack for ten numbers.
+    """
+    data = sorted(values)
+    if not data:
+        raise ValueError("percentile of empty sequence")
+    if len(data) == 1:
+        return float(data[0])
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(data[int(rank)])
+    frac = rank - lo
+    return float(data[lo] * (1.0 - frac) + data[hi] * frac)
+
+
+@dataclass
+class Summary:
+    """Five-number-ish summary used across the figure benches."""
+
+    count: int
+    mean: float
+    stdev: float
+    p25: float
+    p50: float
+    p75: float
+    p95: float
+    p99: float
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "n": self.count, "mean": self.mean, "std": self.stdev,
+            "p25": self.p25, "p50": self.p50, "p75": self.p75,
+            "p95": self.p95, "p99": self.p99,
+        }
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summary statistics of a sample."""
+    data: List[float] = list(values)
+    if not data:
+        raise ValueError("summarize of empty sequence")
+    mean = sum(data) / len(data)
+    var = sum((v - mean) ** 2 for v in data) / len(data)
+    return Summary(
+        count=len(data),
+        mean=mean,
+        stdev=math.sqrt(var),
+        p25=percentile(data, 25),
+        p50=percentile(data, 50),
+        p75=percentile(data, 75),
+        p95=percentile(data, 95),
+        p99=percentile(data, 99),
+    )
+
+
+def mbits_per_second(nbytes: int, seconds: float) -> float:
+    """Throughput in Mbit/s, the paper's speed unit (Figures 1, 7, 8)."""
+    if seconds <= 0:
+        return float("inf")
+    return nbytes * 8.0 / seconds / 1e6

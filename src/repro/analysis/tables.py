@@ -1,0 +1,34 @@
+"""Fixed-width table rendering for benchmark output.
+
+The benches print the same rows/series the paper's figures plot; this keeps
+that output aligned and diff-friendly in test logs.
+"""
+
+from typing import List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered: List[List[str]] = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

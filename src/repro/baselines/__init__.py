@@ -1,0 +1,23 @@
+"""Comparator codecs from the paper's evaluation (Figures 1–3).
+
+Each module reimplements the *technique* the paper attributes to a tool:
+
+* :mod:`repro.baselines.generic` — Deflate/LZMA/BZ2 and documented
+  stand-ins for Brotli/Zstandard/LZham (≤1% savings on JPEGs).
+* :mod:`repro.baselines.packjpg_like` — globally sorted (planar)
+  coefficient arithmetic coding: best-in-class ratio, single-threaded,
+  whole-file-in-RAM, nothing streams.
+* :mod:`repro.baselines.mozjpeg_arith` — spec-style arithmetic coding with
+  a small (~300) bin set and no inter-block AC context.
+* :mod:`repro.baselines.jpegrescan_like` — per-file optimal Huffman table
+  rebuild (jpegtran-style pixel-exact, file-preserving here).
+* :mod:`repro.baselines.paq_like` — slow bitwise context mixing, the
+  PAQ8PX stand-in.
+
+Use :func:`repro.baselines.registry.all_codecs` for the uniform interface
+the benchmarks consume.
+"""
+
+from repro.baselines.registry import Codec, all_codecs, get_codec
+
+__all__ = ["Codec", "all_codecs", "get_codec"]

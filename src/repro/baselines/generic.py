@@ -1,0 +1,54 @@
+"""Generic entropy codecs (§2: "achieve savings of 1% or less" on JPEGs).
+
+Brotli, Zstandard, and LZham are not available offline; the stand-ins below
+are other members of the same LZ+entropy family re-parameterised to mimic
+each tool's speed/ratio positioning.  DESIGN.md documents the substitution;
+the scientific claim being reproduced — generic codecs cannot compress
+already-compressed JPEG scans, only the headers — holds for the entire
+family.
+"""
+
+import bz2
+import lzma
+import zlib
+
+
+def deflate_compress(data: bytes, level: int = 6) -> bytes:
+    """RFC 1951 Deflate via zlib — the paper's production fallback codec."""
+    return zlib.compress(data, level)
+
+
+def deflate_decompress(payload: bytes) -> bytes:
+    return zlib.decompress(payload)
+
+
+def lzma_compress(data: bytes, preset: int = 6) -> bytes:
+    """LZMA (xz), the strongest generic codec in Figure 2's right group."""
+    return lzma.compress(data, preset=preset)
+
+
+def lzma_decompress(payload: bytes) -> bytes:
+    return lzma.decompress(payload)
+
+
+def brotli_sub_compress(data: bytes) -> bytes:
+    """Brotli stand-in: LZMA at a fast preset (similar ratio/speed slot)."""
+    return lzma.compress(data, preset=2)
+
+
+def zstd_sub_compress(data: bytes) -> bytes:
+    """Zstandard stand-in: fast Deflate (zstd's slot: speed over ratio)."""
+    return zlib.compress(data, 1)
+
+
+def zstd_sub_decompress(payload: bytes) -> bytes:
+    return zlib.decompress(payload)
+
+
+def lzham_sub_compress(data: bytes) -> bytes:
+    """LZham stand-in: BZ2 (slow encode, ratio between Deflate and LZMA)."""
+    return bz2.compress(data, 9)
+
+
+def lzham_sub_decompress(payload: bytes) -> bytes:
+    return bz2.decompress(payload)

@@ -1,0 +1,124 @@
+"""``lepton`` command-line tool: compress/decompress/verify JPEG files.
+
+Mirrors the stand-alone binary of the paper: reads a file (or stdin),
+writes the converted output, and reports the §6.2 exit code.
+"""
+
+import argparse
+import sys
+
+from repro.core.errors import ExitCode
+from repro.core.lepton import LeptonConfig, compress, decompress, roundtrip_check
+
+#: Numeric process exit codes per §6.2 category (0 = success).
+EXIT_STATUS = {code: index for index, code in enumerate(ExitCode)}
+
+
+def _read(path: str) -> bytes:
+    if path == "-":
+        return sys.stdin.buffer.read()
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _write(path: str, data: bytes) -> None:
+    if path == "-":
+        sys.stdout.buffer.write(data)
+    else:
+        with open(path, "wb") as handle:
+            handle.write(data)
+
+
+def _qualify(directory: str, config: LeptonConfig, quiet: bool) -> int:
+    """Run the §5.7 qualification gate over every file in a directory."""
+    import os
+
+    from repro.corpus.builder import CorpusFile
+    from repro.storage.qualification import qualify_build
+
+    corpus = []
+    for name in sorted(os.listdir(directory)):
+        path = os.path.join(directory, name)
+        if os.path.isfile(path):
+            with open(path, "rb") as handle:
+                corpus.append(CorpusFile(name, handle.read(), "unknown"))
+    report = qualify_build(corpus, build_id="cli", config=config)
+    if not quiet:
+        print(
+            f"qualification: {report.files_total} files, "
+            f"{report.compressed} compressed, {report.skipped} skipped, "
+            f"{len(report.failures)} failures "
+            f"-> {'QUALIFIED' if report.qualified else 'REJECTED'}",
+            file=sys.stderr,
+        )
+        for failure in report.failures:
+            print(f"  FAIL {failure.name}: {failure.reason}", file=sys.stderr)
+    return 0 if report.qualified else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lepton",
+        description="Losslessly recompress baseline JPEG files (NSDI 2017 reproduction).",
+    )
+    parser.add_argument("command",
+                        choices=["compress", "decompress", "verify", "qualify"])
+    parser.add_argument("input",
+                        help="input path (- for stdin); for qualify: a directory")
+    parser.add_argument("output", nargs="?", default=None,
+                        help="output path, or - for stdout")
+    parser.add_argument("--threads", type=int, default=None,
+                        help="thread-segment count (default: size-based)")
+    parser.add_argument("--no-fallback", action="store_true",
+                        help="fail instead of storing Deflate for rejects")
+    parser.add_argument("--allow-cmyk", action="store_true",
+                        help="enable the 4-component path production disables")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    config = LeptonConfig(
+        threads=args.threads,
+        deflate_fallback=not args.no_fallback,
+        allow_cmyk=args.allow_cmyk,
+    )
+
+    if args.command == "qualify":
+        return _qualify(args.input, config, args.quiet)
+
+    data = _read(args.input)
+
+    if args.command == "compress":
+        result = compress(data, config)
+        if result.payload is None:
+            print(f"rejected: {result.exit_code.value} ({result.detail})",
+                  file=sys.stderr)
+            return EXIT_STATUS[result.exit_code]
+        if args.output:
+            _write(args.output, result.payload)
+        if not args.quiet:
+            print(
+                f"{result.exit_code.value}: {result.input_size} -> "
+                f"{result.output_size} bytes "
+                f"({100 * result.savings_fraction:.1f}% saved, {result.format})",
+                file=sys.stderr,
+            )
+        return EXIT_STATUS[result.exit_code]
+
+    if args.command == "decompress":
+        output = decompress(data)
+        if args.output:
+            _write(args.output, output)
+        if not args.quiet:
+            print(f"decoded {len(data)} -> {len(output)} bytes", file=sys.stderr)
+        return 0
+
+    # verify: the admission gate, end to end.
+    result = roundtrip_check(data, config)
+    status = "ok" if result.ok else f"fell back ({result.exit_code.value})"
+    if not args.quiet:
+        print(f"verify: {status}", file=sys.stderr)
+    return EXIT_STATUS[result.exit_code]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""VP8-style binary range coder (RFC 6386 §7.3, as modified by Lepton).
+
+Lepton replaces baseline JPEG's Huffman layer with this arithmetic coder
+(§3.1, footnote 1).  Each call codes one boolean with an 8-bit probability
+``prob`` = P(bit == 0) scaled so that 1 ≤ prob ≤ 255.  The encoder keeps a
+32-bit window of unresolved output with explicit carry propagation; the
+decoder mirrors it with a 16-bit value register.
+
+The coder is deterministic, integer-only, and shared by Lepton, the
+packjpg-like baseline, and the mozjpeg-arithmetic baseline.
+"""
+
+from typing import Optional
+
+from repro.core.errors import FormatError
+
+
+class BoolEncoder:
+    """Arithmetic encoder for booleans under adaptive probabilities."""
+
+    def __init__(self):
+        self._out = bytearray()
+        self._range = 255
+        self._bottom = 0
+        self._bit_count = 24
+
+    def put(self, bit: int, prob: int) -> None:
+        """Encode ``bit`` given ``prob`` = P(bit == 0) in [1, 255]."""
+        split = 1 + (((self._range - 1) * prob) >> 8)
+        if bit:
+            self._bottom += split
+            if self._bottom >> 32:  # carry out of the window on the add
+                self._carry()
+                self._bottom &= 0xFFFFFFFF
+            self._range -= split
+        else:
+            self._range = split
+        while self._range < 128:
+            self._range <<= 1
+            if self._bottom & (1 << 31):  # carry out of the 32-bit window
+                self._carry()
+                self._bottom &= 0x7FFFFFFF
+            self._bottom = (self._bottom << 1) & 0xFFFFFFFF
+            self._bit_count -= 1
+            if self._bit_count == 0:
+                self._out.append((self._bottom >> 24) & 0xFF)
+                self._bottom &= 0xFFFFFF
+                self._bit_count = 8
+
+    def _carry(self) -> None:
+        i = len(self._out) - 1
+        while i >= 0 and self._out[i] == 0xFF:
+            self._out[i] = 0
+            i -= 1
+        if i < 0:
+            raise FormatError("arithmetic coder carry underflow")
+        self._out[i] += 1
+
+    def finish(self) -> bytes:
+        """Flush the 32-bit window and return the coded byte stream."""
+        c = self._bit_count
+        v = self._bottom
+        if v & (1 << (32 - c)):
+            self._carry()
+        v = (v << (c & 7)) & 0xFFFFFFFF
+        for _ in range(c >> 3):
+            v = (v << 8) & 0xFFFFFFFF
+        for _ in range(4):
+            self._out.append((v >> 24) & 0xFF)
+            v = (v << 8) & 0xFFFFFFFF
+        return bytes(self._out)
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+
+class BoolDecoder:
+    """Arithmetic decoder matching :class:`BoolEncoder`."""
+
+    def __init__(self, data: bytes, start: int = 0, end: Optional[int] = None):
+        self._data = data
+        self._pos = start
+        self._end = len(data) if end is None else end
+        self._range = 255
+        self._value = (self._next_byte() << 8) | self._next_byte()
+        self._bit_count = 0
+
+    def _next_byte(self) -> int:
+        # Reading past the coded data returns zeros: the encoder's flush
+        # pads with four bytes, so a *well-formed* stream never needs them,
+        # but a truncated container must not crash the decoder (§5.7: failed
+        # decodes are detected by the round-trip/size checks, not by UB).
+        if self._pos < self._end:
+            byte = self._data[self._pos]
+            self._pos += 1
+            return byte
+        return 0
+
+    def get(self, prob: int) -> int:
+        """Decode one boolean under ``prob`` = P(bit == 0) in [1, 255]."""
+        split = 1 + (((self._range - 1) * prob) >> 8)
+        big_split = split << 8
+        if self._value >= big_split:
+            bit = 1
+            self._range -= split
+            self._value -= big_split
+        else:
+            bit = 0
+            self._range = split
+        while self._range < 128:
+            self._range <<= 1
+            self._value = (self._value << 1) & 0xFFFF
+            self._bit_count += 1
+            if self._bit_count == 8:
+                self._bit_count = 0
+                self._value |= self._next_byte()
+        return bit
+
+    @property
+    def consumed(self) -> int:
+        """Bytes consumed from the underlying buffer so far."""
+        return self._pos

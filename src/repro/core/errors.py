@@ -1,0 +1,85 @@
+"""The §6.2 exit-code taxonomy.
+
+Every compression attempt terminates with one of these codes; the
+distribution over a large backfill run is itself a reproduced artefact
+(``benchmarks/bench_exit_codes.py``).
+"""
+
+import enum
+
+
+class ExitCode(enum.Enum):
+    """Terminal status of a Lepton conversion, as tabulated in §6.2."""
+
+    SUCCESS = "Success"
+    PROGRESSIVE = "Progressive"
+    UNSUPPORTED_JPEG = "Unsupported JPEG"
+    NOT_AN_IMAGE = "Not an image"
+    CMYK = "4 color CMYK"
+    DECODE_MEMORY_EXCEEDED = ">24 MiB mem decode"
+    ENCODE_MEMORY_EXCEEDED = ">178 MiB mem encode"
+    SERVER_SHUTDOWN = "Server shutdown"
+    IMPOSSIBLE = "Impossible"
+    ABORT_SIGNAL = "Abort signal"
+    TIMEOUT = "Timeout"
+    CHROMA_SUBSAMPLE_BIG = "Chroma subsample big"
+    AC_OUT_OF_RANGE = "AC values out of range"
+    ROUNDTRIP_FAILED = "Roundtrip failed"
+    OOM_KILL = "OOM kill"
+    OPERATOR_INTERRUPT = "Operator interrupt"
+
+    @property
+    def is_success(self) -> bool:
+        return self is ExitCode.SUCCESS
+
+
+# Mapping from parser rejection reasons to exit codes.
+REASON_TO_EXIT = {
+    "progressive": ExitCode.PROGRESSIVE,
+    "arithmetic": ExitCode.UNSUPPORTED_JPEG,
+    "unsupported_sof": ExitCode.UNSUPPORTED_JPEG,
+    "precision": ExitCode.UNSUPPORTED_JPEG,
+    "multi_scan": ExitCode.UNSUPPORTED_JPEG,
+    "components": ExitCode.UNSUPPORTED_JPEG,
+    "cmyk": ExitCode.CMYK,
+    "chroma_subsample": ExitCode.CHROMA_SUBSAMPLE_BIG,
+    "ac_out_of_range": ExitCode.AC_OUT_OF_RANGE,
+    "unsupported": ExitCode.UNSUPPORTED_JPEG,
+}
+
+
+class LeptonError(Exception):
+    """Base class for Lepton codec failures."""
+
+
+class FormatError(LeptonError):
+    """A malformed Lepton container (bad magic, truncated section...)."""
+
+
+class VersionError(FormatError):
+    """Container written by an incompatible format version (§6.7)."""
+
+    def __init__(self, message: str, found: int, supported: int):
+        super().__init__(message)
+        self.found = found
+        self.supported = supported
+
+
+class ValueOutOfRange(LeptonError):
+    """A coefficient (or accumulated DC) exceeds what the format encodes.
+
+    Happens on corrupt streams whose DC deltas accumulate without bound;
+    production Lepton reports "AC values out of range" and falls back.
+    """
+
+
+class MemoryLimitExceeded(LeptonError):
+    """The configured memory budget would be exceeded (§4.2 limits)."""
+
+    def __init__(self, message: str, exit_code: ExitCode):
+        super().__init__(message)
+        self.exit_code = exit_code
+
+
+class TimeoutExceeded(LeptonError):
+    """The conversion exceeded its time budget (§6.6)."""

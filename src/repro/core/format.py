@@ -1,0 +1,216 @@
+"""The Lepton container format (Appendix A.1).
+
+Layout (all integers little-endian):
+
+.. code-block:: text
+
+    magic            2 bytes   0xCF 0x84
+    version          1 byte    0x01
+    header flag      1 byte    'Z' (header serialized) | 'Y' (skipped)
+    n thread segments  u32
+    git revision     12 bytes  (build identification, §6.7)
+    output size      u32       exact byte length this container decodes to
+    zlib size        u32
+    zlib data                  secondary header, deflate-compressed
+    ...interleaved arithmetic sections:
+        segment id   u8
+        length       u32
+        data         <length> bytes   (repeats until all segments complete)
+
+The secondary header carries the verbatim JPEG header, the pad bit, RST
+count, the emitted prefix/trailer slices, the scan trim window (for 4-MiB
+chunks), and one Huffman handover word per thread segment.
+"""
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.errors import FormatError, VersionError
+from repro.core.handover import HandoverWord
+
+MAGIC = b"\xCF\x84"
+VERSION = 1
+GIT_REVISION = b"pyrepro1.0.0"  # 12 bytes, stands in for the truncated SHA
+INTERLEAVE_SLICE = 4096
+
+
+@dataclass
+class SegmentRecord:
+    """One thread segment: its MCU range, handover word, and coded size."""
+
+    mcu_start: int
+    mcu_end: int
+    handover: HandoverWord
+    data: bytes = b""
+
+
+@dataclass
+class LeptonFile:
+    """A parsed (or to-be-written) Lepton container."""
+
+    jpeg_header: bytes
+    pad_bit: int
+    rst_count: int
+    output_size: int
+    prefix_offset: int  # emitted file prefix = jpeg_header[off : off + len]
+    prefix_length: int
+    trailer: bytes  # emitted bytes after the scan slice
+    scan_skip: int  # bytes dropped from the front of the re-encoded scan
+    scan_take: int  # bytes of re-encoded scan present in the output
+    pad_final: bool  # whether the scan's final padded byte is included
+    segments: List[SegmentRecord] = field(default_factory=list)
+
+    @property
+    def prefix(self) -> bytes:
+        return self.jpeg_header[self.prefix_offset : self.prefix_offset + self.prefix_length]
+
+
+def _pack_bytes(out: bytearray, data: bytes) -> None:
+    out += struct.pack("<I", len(data))
+    out += data
+
+
+def _unpack_bytes(data: bytes, offset: int) -> Tuple[bytes, int]:
+    if offset + 4 > len(data):
+        raise FormatError("truncated length field")
+    (length,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    if offset + length > len(data):
+        raise FormatError("truncated byte field")
+    return data[offset : offset + length], offset + length
+
+
+def write_container(lepton: LeptonFile,
+                    interleave_slice: int = INTERLEAVE_SLICE) -> bytes:
+    """Serialise a :class:`LeptonFile` to bytes."""
+    secondary = bytearray()
+    _pack_bytes(secondary, lepton.jpeg_header)
+    secondary += struct.pack(
+        "<BIIIIIB",
+        lepton.pad_bit & 1,
+        lepton.rst_count,
+        lepton.prefix_offset,
+        lepton.prefix_length,
+        lepton.scan_skip,
+        lepton.scan_take,
+        1 if lepton.pad_final else 0,
+    )
+    _pack_bytes(secondary, lepton.trailer)
+    secondary += struct.pack("<I", len(lepton.segments))
+    for seg in lepton.segments:
+        secondary += struct.pack("<III", seg.mcu_start, seg.mcu_end, len(seg.data))
+        secondary += seg.handover.pack()
+    zdata = zlib.compress(bytes(secondary), 9)
+
+    out = bytearray()
+    out += MAGIC
+    out += bytes([VERSION, ord("Z")])
+    out += struct.pack("<I", len(lepton.segments))
+    out += GIT_REVISION.ljust(12, b"\x00")[:12]
+    out += struct.pack("<II", lepton.output_size, len(zdata))
+    out += zdata
+
+    # Interleave the per-segment arithmetic sections (§A.1): round-robin in
+    # fixed slices so a streaming decoder can start every thread early.
+    cursors = [0] * len(lepton.segments)
+    remaining = sum(len(s.data) for s in lepton.segments)
+    while remaining:
+        for sid, seg in enumerate(lepton.segments):
+            take = min(interleave_slice, len(seg.data) - cursors[sid])
+            if take <= 0:
+                continue
+            out += struct.pack("<BI", sid, take)
+            out += seg.data[cursors[sid] : cursors[sid] + take]
+            cursors[sid] += take
+            remaining -= take
+    return bytes(out)
+
+
+def read_container(data: bytes) -> LeptonFile:
+    """Parse a Lepton container produced by :func:`write_container`."""
+    if len(data) < 26 or data[:2] != MAGIC:
+        raise FormatError("not a Lepton file: bad magic")
+    version = data[2]
+    if version != VERSION:
+        raise VersionError(
+            f"Lepton format version {version} not supported (have {VERSION}); "
+            "see §6.7 for what deploying mismatched versions does",
+            found=version,
+            supported=VERSION,
+        )
+    if data[3] not in (ord("Y"), ord("Z")):
+        raise FormatError("bad header flag")
+    (n_segments,) = struct.unpack_from("<I", data, 4)
+    # bytes 8..20: git revision (informational)
+    output_size, zsize = struct.unpack_from("<II", data, 20)
+    offset = 28
+    if offset + zsize > len(data):
+        raise FormatError("truncated zlib section")
+    try:
+        secondary = zlib.decompress(data[offset : offset + zsize])
+    except zlib.error as exc:
+        raise FormatError(f"corrupt zlib section: {exc}") from exc
+    offset += zsize
+
+    s_off = 0
+    jpeg_header, s_off = _unpack_bytes(secondary, s_off)
+    if s_off + 22 > len(secondary):
+        raise FormatError("truncated secondary header")
+    (pad_bit, rst_count, prefix_offset, prefix_length,
+     scan_skip, scan_take, pad_final) = struct.unpack_from("<BIIIIIB", secondary, s_off)
+    s_off += struct.calcsize("<BIIIIIB")
+    trailer, s_off = _unpack_bytes(secondary, s_off)
+    if s_off + 4 > len(secondary):
+        raise FormatError("truncated segment table")
+    (n_seg_2,) = struct.unpack_from("<I", secondary, s_off)
+    s_off += 4
+    if n_seg_2 != n_segments:
+        raise FormatError("segment count mismatch between headers")
+    if n_segments > 64:
+        raise FormatError(f"implausible segment count {n_segments}")
+    segments = []
+    sizes = []
+    for _ in range(n_segments):
+        if s_off + 12 > len(secondary):
+            raise FormatError("truncated segment record")
+        mcu_start, mcu_end, size = struct.unpack_from("<III", secondary, s_off)
+        s_off += 12
+        handover, s_off = HandoverWord.unpack(secondary, s_off)
+        segments.append(SegmentRecord(mcu_start, mcu_end, handover))
+        sizes.append(size)
+
+    # Reassemble the interleaved sections.
+    buffers = [bytearray() for _ in range(n_segments)]
+    while offset < len(data):
+        if offset + 5 > len(data):
+            raise FormatError("truncated section header")
+        sid, length = struct.unpack_from("<BI", data, offset)
+        offset += 5
+        if sid >= n_segments:
+            raise FormatError(f"section for unknown segment {sid}")
+        if offset + length > len(data):
+            raise FormatError("truncated section payload")
+        buffers[sid] += data[offset : offset + length]
+        offset += length
+    for sid, (buf, expected) in enumerate(zip(buffers, sizes)):
+        if len(buf) != expected:
+            raise FormatError(
+                f"segment {sid}: got {len(buf)} bytes, expected {expected}"
+            )
+        segments[sid].data = bytes(buf)
+
+    return LeptonFile(
+        jpeg_header=jpeg_header,
+        pad_bit=pad_bit,
+        rst_count=rst_count,
+        output_size=output_size,
+        prefix_offset=prefix_offset,
+        prefix_length=prefix_length,
+        trailer=trailer,
+        scan_skip=scan_skip,
+        scan_take=scan_take,
+        pad_final=bool(pad_final),
+        segments=segments,
+    )

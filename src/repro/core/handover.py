@@ -1,0 +1,63 @@
+"""Huffman handover words (§3.4, Appendix A.1).
+
+A handover word is the state a Huffman *writer* needs to resume emitting
+the original JPEG scan from an arbitrary MCU — possibly mid-byte and
+mid-symbol: the bit alignment and partial byte, the per-channel DC
+predictor (JPEG codes DC as a delta to the previous block), and how many
+restart markers have been emitted.  One is stored per thread segment and at
+the head of every chunk, which is what lets segments be written by
+independent threads and chunks be decoded on different servers.
+"""
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.errors import FormatError
+from repro.jpeg.scan_encode import ScanPosition
+
+_FIXED = struct.Struct("<IBBIB")  # mcu, partial_byte, partial_bits, rst, nchan
+
+
+@dataclass(frozen=True)
+class HandoverWord:
+    """Serializable Huffman-writer resume state."""
+
+    mcu: int
+    partial_byte: int
+    partial_bits: int
+    dc_pred: Tuple[int, ...]
+    rst_emitted: int
+
+    @classmethod
+    def from_position(cls, position: ScanPosition) -> "HandoverWord":
+        return cls(
+            mcu=position.mcu,
+            partial_byte=position.partial_byte,
+            partial_bits=position.partial_bits,
+            dc_pred=position.dc_pred,
+            rst_emitted=position.rst_emitted,
+        )
+
+    def pack(self) -> bytes:
+        out = _FIXED.pack(
+            self.mcu, self.partial_byte, self.partial_bits,
+            self.rst_emitted, len(self.dc_pred),
+        )
+        return out + struct.pack(f"<{len(self.dc_pred)}i", *self.dc_pred)
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> Tuple["HandoverWord", int]:
+        if offset + _FIXED.size > len(data):
+            raise FormatError("truncated handover word")
+        mcu, pbyte, pbits, rst, nchan = _FIXED.unpack_from(data, offset)
+        offset += _FIXED.size
+        if nchan > 4:
+            raise FormatError(f"handover word claims {nchan} channels")
+        if offset + 4 * nchan > len(data):
+            raise FormatError("truncated handover DC values")
+        dc = struct.unpack_from(f"<{nchan}i", data, offset)
+        offset += 4 * nchan
+        if pbits > 7:
+            raise FormatError(f"invalid partial bit count {pbits}")
+        return cls(mcu, pbyte, pbits, tuple(dc), rst), offset

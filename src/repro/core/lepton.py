@@ -1,0 +1,250 @@
+"""The public Lepton API: compress, decompress, round-trip admission.
+
+This is the layer the blockservers call (§5): it maps every failure to a
+§6.2 exit code, falls back to Deflate for inputs Lepton cannot represent
+(so *something* is always stored), and never admits a Lepton payload that
+was not verified to round-trip.
+"""
+
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.core import format as lformat
+from repro.core.decoder import decode_lepton, decode_lepton_stream
+from repro.core.encoder import EncodeStats, RoundtripMismatch, encode_jpeg
+from repro.core.errors import (
+    REASON_TO_EXIT,
+    ExitCode,
+    FormatError,
+    LeptonError,
+    MemoryLimitExceeded,
+    TimeoutExceeded,
+    ValueOutOfRange,
+)
+from repro.core.model import ModelConfig
+from repro.jpeg.errors import JpegError, UnsupportedJpegError
+
+#: Production memory budgets (§4.2 / §6.2).
+DECODE_MEMORY_LIMIT = 24 * 1024 * 1024
+ENCODE_MEMORY_LIMIT = 178 * 1024 * 1024
+
+FORMAT_LEPTON = "lepton"
+FORMAT_DEFLATE = "deflate"
+
+
+@dataclass
+class LeptonConfig:
+    """Compression behaviour knobs (defaults match production)."""
+
+    threads: Optional[int] = None  # None = size-based cutoffs (§5.4)
+    model: ModelConfig = field(default_factory=ModelConfig)
+    decode_memory_limit: Optional[int] = DECODE_MEMORY_LIMIT
+    encode_memory_limit: Optional[int] = ENCODE_MEMORY_LIMIT
+    timeout_seconds: Optional[float] = None
+    deflate_fallback: bool = True
+    collect_breakdown: bool = False
+    interleave_slice: int = 4096
+    #: §6.2: production rejects 4-colour JPEGs "for simplicity"; the codec
+    #: itself handles them (a fourth per-channel model) when enabled.
+    allow_cmyk: bool = False
+
+
+@dataclass
+class CompressionResult:
+    """Outcome of one conversion attempt."""
+
+    exit_code: ExitCode
+    format: Optional[str]  # "lepton" | "deflate" | None
+    payload: Optional[bytes]
+    input_size: int
+    stats: Optional[EncodeStats] = None
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code.is_success
+
+    @property
+    def output_size(self) -> int:
+        return len(self.payload) if self.payload is not None else 0
+
+    @property
+    def savings_fraction(self) -> float:
+        if not self.payload or self.input_size == 0:
+            return 0.0
+        return 1.0 - len(self.payload) / self.input_size
+
+    @property
+    def compression_ratio(self) -> float:
+        """Compressed/original — the paper reports 77.3% on average."""
+        if not self.payload or self.input_size == 0:
+            return 1.0
+        return len(self.payload) / self.input_size
+
+
+@dataclass
+class DecompressionResult:
+    """Outcome of a decompression."""
+
+    data: bytes
+    format: str
+    decode_seconds: float
+
+
+def _looks_like_jpeg(data: bytes) -> bool:
+    """Plausibility probe: SOI followed by a well-formed marker chain.
+
+    The production sample selects chunks by their first two bytes (§4), so
+    "Not an image" covers data with a lucky SOI prefix but no JPEG structure
+    behind it.  We require at least two consecutive valid marker segments.
+    """
+    if len(data) < 4 or data[0] != 0xFF or data[1] != 0xD8:
+        return False
+    pos = 2
+    for _ in range(2):
+        if pos + 4 > len(data) or data[pos] != 0xFF:
+            return False
+        marker = data[pos + 1]
+        if marker in (0x00, 0xFF) or marker == 0xD8:
+            return False
+        length = (data[pos + 2] << 8) | data[pos + 3]
+        if length < 2:
+            return False
+        pos += 2 + length
+    return True
+
+
+def _classify_jpeg_error(data: bytes, exc: JpegError) -> ExitCode:
+    if isinstance(exc, UnsupportedJpegError):
+        return REASON_TO_EXIT.get(exc.reason, ExitCode.UNSUPPORTED_JPEG)
+    if not _looks_like_jpeg(data):
+        return ExitCode.NOT_AN_IMAGE
+    return ExitCode.UNSUPPORTED_JPEG
+
+
+def compress(data: bytes, config: Optional[LeptonConfig] = None) -> CompressionResult:
+    """Compress ``data``; always returns a result, never raises.
+
+    JPEG inputs that Lepton supports become Lepton containers; everything
+    else (non-images, progressive, CMYK, corrupt, over-budget) is recorded
+    with its §6.2 exit code and — when ``deflate_fallback`` is on, as in
+    production — stored as Deflate instead.
+    """
+    config = config or LeptonConfig()
+    deadline = (
+        time.monotonic() + config.timeout_seconds
+        if config.timeout_seconds is not None
+        else None
+    )
+    exit_code = ExitCode.SUCCESS
+    detail = ""
+    try:
+        payload, stats = encode_jpeg(
+            data,
+            model_config=config.model,
+            threads=config.threads,
+            decode_memory_limit=config.decode_memory_limit,
+            encode_memory_limit=config.encode_memory_limit,
+            deadline=deadline,
+            collect_breakdown=config.collect_breakdown,
+            interleave_slice=config.interleave_slice,
+            allow_cmyk=config.allow_cmyk,
+        )
+        return CompressionResult(
+            ExitCode.SUCCESS, FORMAT_LEPTON, payload, len(data), stats
+        )
+    except UnsupportedJpegError as exc:
+        exit_code, detail = _classify_jpeg_error(data, exc), str(exc)
+    except JpegError as exc:
+        exit_code, detail = _classify_jpeg_error(data, exc), str(exc)
+    except RoundtripMismatch as exc:
+        exit_code, detail = ExitCode.ROUNDTRIP_FAILED, str(exc)
+    except ValueOutOfRange as exc:
+        exit_code, detail = ExitCode.AC_OUT_OF_RANGE, str(exc)
+    except MemoryLimitExceeded as exc:
+        exit_code, detail = exc.exit_code, str(exc)
+    except TimeoutExceeded as exc:
+        exit_code, detail = ExitCode.TIMEOUT, str(exc)
+
+    if config.deflate_fallback:
+        payload = zlib.compress(data, 6)
+        return CompressionResult(
+            exit_code, FORMAT_DEFLATE, payload, len(data), None, detail
+        )
+    return CompressionResult(exit_code, None, None, len(data), None, detail)
+
+
+def decompress(payload: bytes, parallel: bool = True,
+               model_config: Optional[ModelConfig] = None) -> bytes:
+    """Recover the exact original bytes from a stored payload.
+
+    Auto-detects Lepton containers by magic; anything else is Deflate
+    (the fallback path).
+    """
+    return decompress_result(payload, parallel, model_config).data
+
+
+def decompress_result(payload: bytes, parallel: bool = True,
+                      model_config: Optional[ModelConfig] = None) -> DecompressionResult:
+    """Like :func:`decompress` but with timing and format metadata."""
+    start = time.monotonic()
+    if payload[:2] == lformat.MAGIC:
+        data = decode_lepton(payload, model_config=model_config, parallel=parallel)
+        fmt = FORMAT_LEPTON
+    else:
+        data = zlib.decompress(payload)
+        fmt = FORMAT_DEFLATE
+    return DecompressionResult(data, fmt, time.monotonic() - start)
+
+
+def decompress_stream(payload: bytes, parallel: bool = True,
+                      model_config: Optional[ModelConfig] = None) -> Iterator[bytes]:
+    """Streaming decompression (time-to-first-byte path)."""
+    if payload[:2] == lformat.MAGIC:
+        yield from decode_lepton_stream(payload, model_config, parallel)
+    else:
+        yield zlib.decompress(payload)
+
+
+def decompress_bounded(payload: bytes,
+                       model_config: Optional[ModelConfig] = None) -> Iterator[bytes]:
+    """Row-by-row streaming decompression with a bounded working set.
+
+    The production memory discipline (§1, §4.2): coefficients live in a
+    sliding window of block rows, output drains every MCU row, and the
+    working set scales with image *width* rather than area.
+    """
+    from repro.core.decoder import decode_lepton_bounded
+
+    if payload[:2] == lformat.MAGIC:
+        yield from decode_lepton_bounded(payload, model_config)
+    else:
+        yield zlib.decompress(payload)
+
+
+def roundtrip_check(data: bytes, config: Optional[LeptonConfig] = None) -> CompressionResult:
+    """Compress and verify decompression — the blockserver admission gate.
+
+    "The blockservers never admit chunks to the storage system that fail to
+    round-trip" (§5.7).  Returns the compression result if the round trip
+    holds; downgrades to the Deflate fallback if it does not.
+    """
+    result = compress(data, config)
+    if result.format == FORMAT_LEPTON:
+        try:
+            recovered = decompress(result.payload)
+        except (LeptonError, FormatError):
+            recovered = None
+        if recovered != data:
+            fallback = zlib.compress(data, 6)
+            return CompressionResult(
+                ExitCode.ROUNDTRIP_FAILED,
+                FORMAT_DEFLATE,
+                fallback,
+                len(data),
+                None,
+                "post-compression round-trip verification failed",
+            )
+    return result

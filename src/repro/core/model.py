@@ -1,0 +1,142 @@
+"""Lepton's adaptive probability model: statistic bins and their contexts.
+
+A "statistic bin" (§3.2) tracks how often a particular binary decision came
+out 0 vs 1 in a particular context, and supplies the probability for the
+next occurrence.  Production Lepton preallocates 721,564 bins; we allocate
+them lazily in a dict keyed by context tuples, which is behaviourally
+identical (untouched bins would stay at 50/50 anyway) and keeps the Python
+working set proportional to the contexts actually seen.
+
+Bins are *independent*: learning in one context never leaks into another
+(§3.2).  Each thread segment gets a fresh :class:`Model`, which is exactly
+why adding threads costs compression (§3.4) — an effect measured by
+``benchmarks/bench_fig8_encode_speed_threads.py``.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class Branch:
+    """One adaptive bin: counts of observed zeros/ones → P(bit == 0).
+
+    Counts start at (1, 1) — the 50/50 prior — and are renormalised by
+    halving when either saturates a byte, matching Lepton's u8 counters.
+    """
+
+    __slots__ = ("zeros", "ones")
+
+    def __init__(self):
+        self.zeros = 1
+        self.ones = 1
+
+    @property
+    def prob_zero(self) -> int:
+        """P(bit == 0) scaled to [1, 255] for the range coder."""
+        prob = (self.zeros << 8) // (self.zeros + self.ones)
+        if prob < 1:
+            return 1
+        if prob > 255:
+            return 255
+        return prob
+
+    def record(self, bit: int) -> None:
+        """Update counts after coding ``bit``."""
+        if bit:
+            self.ones += 1
+            if self.ones > 255:
+                self.ones = 128
+                self.zeros = (self.zeros + 1) >> 1 or 1
+        else:
+            self.zeros += 1
+            if self.zeros > 255:
+                self.zeros = 128
+                self.ones = (self.ones + 1) >> 1 or 1
+
+
+@dataclass
+class ModelConfig:
+    """Tunable model behaviour; defaults reproduce the paper's design.
+
+    The alternates exist for the §4.3 ablations: ``edge_mode="avg"`` uses
+    the same weighted-average prediction for the 7x1/1x7 coefficients as for
+    the 7x7 block (baseline-PackJPG style), and ``dc_mode="packjpg"`` /
+    ``"median8"`` downgrade DC prediction to the left-neighbour delta or the
+    first-cut median-of-8 border match.
+    """
+
+    edge_mode: str = "lakhani"  # "lakhani" | "avg"
+    dc_mode: str = "gradient"  # "gradient" | "median8" | "packjpg"
+    max_value_exponent: int = 14  # unary exponent cap (values < 2^14)
+
+
+class Model:
+    """A lazily allocated bin store plus information-content accounting.
+
+    ``bit_costs`` accumulates the Shannon information (in bits) charged to
+    each component category — 'nnz', '7x7', 'edge', 'dc' — which is how the
+    Figure-4 breakdown is measured without per-symbol byte boundaries.
+    """
+
+    __slots__ = ("bins", "config", "bit_costs", "_category")
+
+    def __init__(self, config: ModelConfig = None):
+        self.bins: Dict[Tuple, Branch] = {}
+        self.config = config or ModelConfig()
+        self.bit_costs = {"nnz": 0.0, "7x7": 0.0, "edge": 0.0, "dc": 0.0}
+        self._category = "7x7"
+
+    def branch(self, key: Tuple) -> Branch:
+        """The bin for a context, created at the 50/50 prior on first use."""
+        branch = self.bins.get(key)
+        if branch is None:
+            branch = Branch()
+            self.bins[key] = branch
+        return branch
+
+    def set_category(self, category: str) -> None:
+        """Route subsequent bit costs to a Figure-4 component category."""
+        self._category = category
+
+    def charge(self, prob: int, bit: int) -> None:
+        """Record the information content of one coded bit."""
+        p = prob / 256.0 if bit == 0 else 1.0 - prob / 256.0
+        self.bit_costs[self._category] += -math.log2(max(p, 1e-9))
+
+    @property
+    def bin_count(self) -> int:
+        return len(self.bins)
+
+
+# --- shared context-bucketing helpers (encoder and decoder must agree) ----
+
+LOG_159 = math.log(1.59)
+_NNZ_BUCKET = [0] * 50
+for _n in range(1, 50):
+    _NNZ_BUCKET[_n] = min(int(math.log(_n) / LOG_159), 9)
+
+
+def nnz_bucket(n: int) -> int:
+    """⌊log₁.₅₉ n⌋ capped to 0..9 — the paper's non-zero-count bucketing."""
+    if n <= 0:
+        return 0
+    if n >= 50:
+        return 9
+    return _NNZ_BUCKET[n]
+
+
+def avg_bucket(total_abs: int) -> int:
+    """⌊log₂(weighted |neighbour| average)⌋ capped to 0..11 (§3.3)."""
+    return min(total_abs.bit_length(), 11)
+
+
+def pred_bucket(pred: int, cap: int = 11) -> int:
+    """Signed log bucket of a predicted value: sign × ⌈log₂⌉, ±cap."""
+    mag = min(abs(pred).bit_length(), cap)
+    return mag if pred >= 0 else -mag
+
+
+def confidence_bucket(spread: int) -> int:
+    """Bucket the max−min spread of the 16 DC predictions (§A.2.3)."""
+    return min(spread.bit_length(), 13)

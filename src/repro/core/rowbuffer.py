@@ -1,0 +1,73 @@
+"""Bounded row-window coefficient storage for streaming decode.
+
+Production Lepton "must work row-by-row on a JPEG file, instead of decoding
+the entire file into RAM" (§1), which is how its decode path fits in a hard
+24 MiB (§4.2).  The model only ever looks one block row up (above /
+above-left neighbours, the Lakhani row predictor, the DC gradient), and the
+Huffman writer consumes rows in order — so a sliding window of a few block
+rows is sufficient.
+
+:class:`RowWindow` presents the same ``[by, bx] → length-64 coefficient
+view`` indexing as the full ``(blocks_h, blocks_w, 64)`` arrays used by
+:class:`~repro.core.coefcoder.SegmentCodec` and
+:class:`~repro.jpeg.scan_encode.ScanEncoder`, but stores only ``window``
+block rows, recycled as :meth:`release_below` advances.
+"""
+
+import numpy as np
+
+
+class RowWindowError(IndexError):
+    """An access fell outside the retained row window (a codec bug)."""
+
+
+class RowWindow:
+    """A ring buffer of block rows masquerading as a full block array."""
+
+    def __init__(self, blocks_h: int, blocks_w: int, window: int = 4,
+                 dtype=np.int32):
+        if window < 2:
+            raise ValueError("window must hold at least two block rows")
+        self.shape = (blocks_h, blocks_w, 64)
+        self._window = min(window, blocks_h)
+        self._rows = np.zeros((self._window, blocks_w, 64), dtype=dtype)
+        self._base = 0  # smallest retained block row
+
+    @property
+    def retained_rows(self) -> int:
+        return self._window
+
+    @property
+    def nbytes(self) -> int:
+        """Actual working-set bytes (what Figure 3 measures)."""
+        return self._rows.nbytes
+
+    def _check(self, by: int) -> None:
+        if not self._base <= by < self._base + self._window:
+            raise RowWindowError(
+                f"block row {by} outside window [{self._base}, "
+                f"{self._base + self._window}) — decode order violated"
+            )
+        if not 0 <= by < self.shape[0]:
+            raise RowWindowError(f"block row {by} outside image")
+
+    def __getitem__(self, key):
+        by, bx = key
+        self._check(by)
+        return self._rows[by % self._window, bx]
+
+    def __setitem__(self, key, value):
+        by, bx = key
+        self._check(by)
+        self._rows[by % self._window, bx] = value
+
+    def release_below(self, by: int) -> None:
+        """Drop all rows strictly below ``by`` (their bytes are recycled).
+
+        Rows become writable for reuse *and are zeroed*, so a (buggy) read
+        of a released row fails loudly rather than returning stale data.
+        """
+        target = min(max(by, self._base), self.shape[0])
+        while self._base < target:
+            self._rows[self._base % self._window] = 0
+            self._base += 1

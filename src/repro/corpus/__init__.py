@@ -1,0 +1,12 @@
+"""Synthetic corpus generation.
+
+The paper benchmarks on 233,376 randomly sampled Dropbox chunks; offline we
+synthesise photo-like images (smooth gradients, blobs, edges, and sensor
+noise — the statistics Lepton's model exploits) and encode them with
+:mod:`repro.jpeg.writer`, plus the §6.2/A.3 corruption taxonomy.
+"""
+
+from repro.corpus.images import synthetic_photo
+from repro.corpus.builder import CorpusFile, build_corpus, corpus_jpeg
+
+__all__ = ["CorpusFile", "build_corpus", "corpus_jpeg", "synthetic_photo"]

@@ -1,0 +1,148 @@
+"""Deterministic corpus construction for tests and benchmarks."""
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional, Sequence
+
+from repro.corpus import corruptions
+from repro.corpus.images import flat_image, noise_image, synthetic_photo
+from repro.jpeg.writer import encode_baseline_jpeg
+
+
+@dataclass(frozen=True)
+class CorpusFile:
+    """One benchmark input: raw bytes plus its ground-truth category."""
+
+    name: str
+    data: bytes
+    category: str  # "jpeg" | "progressive" | "cmyk" | "not_image" | ...
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@lru_cache(maxsize=512)
+def corpus_jpeg(
+    seed: int = 0,
+    height: int = 64,
+    width: int = 64,
+    quality: int = 85,
+    subsampling: str = "4:2:0",
+    grayscale: bool = False,
+    restart_interval: int = 0,
+) -> bytes:
+    """A single deterministic synthetic JPEG (cached: corpus reuse is common)."""
+    pixels = synthetic_photo(height, width, seed=seed, grayscale=grayscale)
+    return encode_baseline_jpeg(
+        pixels,
+        quality=quality,
+        subsampling=subsampling,
+        restart_interval=restart_interval,
+    )
+
+
+def jpeg_sweep(
+    count: int,
+    seed: int = 0,
+    sizes: Sequence[int] = (48, 64, 96, 128),
+    qualities: Sequence[int] = (70, 80, 90),
+) -> List[CorpusFile]:
+    """``count`` clean JPEGs cycling through size/quality/colour variants."""
+    files = []
+    for i in range(count):
+        size = sizes[i % len(sizes)]
+        quality = qualities[i % len(qualities)]
+        gray = i % 7 == 3
+        sub = "4:2:0" if i % 2 == 0 else "4:4:4"
+        rst = 4 if i % 5 == 4 else 0
+        data = corpus_jpeg(
+            seed=seed + i,
+            height=size,
+            width=size + (i % 3) * 8,
+            quality=quality,
+            subsampling=sub,
+            grayscale=gray,
+            restart_interval=rst,
+        )
+        files.append(CorpusFile(f"jpeg_{i:04d}", data, "jpeg"))
+    return files
+
+
+def build_corpus(
+    n_jpegs: int = 24,
+    seed: int = 0,
+    include_rejects: bool = True,
+    reject_profile: Optional[dict] = None,
+) -> List[CorpusFile]:
+    """Build the benchmark corpus.
+
+    With ``include_rejects`` the §6.2 reject categories are mixed in at
+    roughly the production proportions scaled up to be visible at small
+    corpus sizes (the paper's true rates are parts-per-thousand).
+    """
+    files = jpeg_sweep(n_jpegs, seed=seed)
+    if not include_rejects:
+        return files
+    profile = reject_profile or {
+        "progressive": max(1, n_jpegs // 12),
+        "not_image": max(1, n_jpegs // 16),
+        "cmyk": max(1, n_jpegs // 24),
+        "header_only": 1,
+        "truncated": 1,
+        "zero_run": 1,
+        "garbage_trailer": 1,
+        "arithmetic": 1,
+    }
+    base = corpus_jpeg(seed=seed + 9000, height=64, width=64)
+    makers = {
+        "progressive": lambda i: corruptions.make_progressive(
+            corpus_jpeg(seed=seed + 9100 + i)
+        ),
+        "not_image": lambda i: corruptions.not_an_image(seed=seed + 9200 + i),
+        "cmyk": lambda i: corruptions.make_cmyk(),
+        "header_only": lambda i: corruptions.make_header_only(base),
+        "truncated": lambda i: corruptions.truncate(
+            corpus_jpeg(seed=seed + 9300 + i)
+        ),
+        "zero_run": lambda i: corruptions.zero_run_tail(
+            corpus_jpeg(seed=seed + 9400 + i, restart_interval=2), run_length=128
+        ),
+        "garbage_trailer": lambda i: corruptions.append_garbage(
+            corpus_jpeg(seed=seed + 9500 + i), seed=seed + i
+        ),
+        "arithmetic": lambda i: corruptions.make_arithmetic(
+            corpus_jpeg(seed=seed + 9600 + i)
+        ),
+    }
+    for category, count in profile.items():
+        for i in range(count):
+            files.append(
+                CorpusFile(f"{category}_{i:02d}", makers[category](i), category)
+            )
+    return files
+
+
+def degenerate_jpegs(seed: int = 0) -> List[CorpusFile]:
+    """Edge-case JPEGs: flat, noise, tiny, single-block, odd dimensions."""
+    cases = [
+        ("flat", encode_baseline_jpeg(flat_image(32, 32), quality=90)),
+        ("noise", encode_baseline_jpeg(noise_image(40, 40, seed=seed), quality=75)),
+        ("tiny", encode_baseline_jpeg(synthetic_photo(8, 8, seed=seed), quality=85)),
+        ("one_px", encode_baseline_jpeg(flat_image(1, 1, value=200), quality=85)),
+        (
+            "odd_dims",
+            encode_baseline_jpeg(
+                synthetic_photo(37, 61, seed=seed + 1), quality=85, subsampling="4:2:0"
+            ),
+        ),
+        (
+            "gray_rst",
+            encode_baseline_jpeg(
+                synthetic_photo(64, 48, seed=seed + 2, grayscale=True),
+                quality=80,
+                restart_interval=3,
+            ),
+        ),
+    ]
+    return [CorpusFile(name, data, "jpeg") for name, data in cases]

@@ -1,0 +1,76 @@
+"""Deterministic photo-like image synthesis.
+
+Lepton's probability model profits from the statistics of real photographs:
+smooth luminance gradients across blocks (DC prediction), correlated AC
+energy between neighbouring blocks (7x7 prediction), and pixel continuity
+across block edges (Lakhani 7x1/1x7 prediction).  The generator layers
+exactly those structures — a global gradient, soft Gaussian blobs, a few
+hard edges, and mild sensor noise — so the model's components each have
+signal to exploit, as they would in the wild.
+"""
+
+import numpy as np
+
+
+def synthetic_photo(
+    height: int,
+    width: int,
+    seed: int = 0,
+    grayscale: bool = False,
+    noise: float = 2.0,
+    n_blobs: int = 8,
+    n_edges: int = 3,
+) -> np.ndarray:
+    """Generate a deterministic photo-like uint8 image.
+
+    Returns ``(H, W)`` when ``grayscale`` else ``(H, W, 3)``.
+    """
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:height, 0:width].astype(np.float64)
+    yn, xn = yy / max(height - 1, 1), xx / max(width - 1, 1)
+
+    channels = 1 if grayscale else 3
+    planes = []
+    # Shared structure across channels, with per-channel tinting: real photos
+    # have strongly correlated colour planes (chroma compresses well).
+    base = 90.0 + 120.0 * (
+        rng.uniform(-1, 1) * xn + rng.uniform(-1, 1) * yn
+    )
+    blobs = np.zeros_like(base)
+    for _ in range(n_blobs):
+        cy, cx = rng.uniform(0, 1, 2)
+        sigma = rng.uniform(0.05, 0.35)
+        amp = rng.uniform(-70, 70)
+        blobs += amp * np.exp(-(((yn - cy) ** 2 + (xn - cx) ** 2) / (2 * sigma**2)))
+    edges = np.zeros_like(base)
+    for _ in range(n_edges):
+        angle = rng.uniform(0, np.pi)
+        offset = rng.uniform(0.2, 0.8)
+        level = rng.uniform(-50, 50)
+        mask = (np.cos(angle) * xn + np.sin(angle) * yn) > offset
+        edges += level * mask
+    texture_rows = 6.0 * np.sin(yy / rng.uniform(2.0, 9.0))
+
+    structure = base + blobs + edges + texture_rows
+    for c in range(channels):
+        tint = rng.uniform(0.85, 1.15)
+        shift = rng.uniform(-12, 12)
+        plane = structure * tint + shift
+        if noise > 0:
+            plane = plane + rng.normal(0.0, noise, size=plane.shape)
+        planes.append(plane)
+    stacked = np.stack(planes, axis=-1) if channels == 3 else planes[0]
+    return np.clip(stacked, 0, 255).astype(np.uint8)
+
+
+def flat_image(height: int, width: int, value: int = 128, grayscale: bool = True) -> np.ndarray:
+    """A constant image — the degenerate all-zero-AC case."""
+    shape = (height, width) if grayscale else (height, width, 3)
+    return np.full(shape, value, dtype=np.uint8)
+
+
+def noise_image(height: int, width: int, seed: int = 0, grayscale: bool = False) -> np.ndarray:
+    """Pure white noise — worst case for every predictor."""
+    rng = np.random.default_rng(seed)
+    shape = (height, width) if grayscale else (height, width, 3)
+    return rng.integers(0, 256, size=shape, dtype=np.uint8)

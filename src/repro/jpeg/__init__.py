@@ -1,0 +1,35 @@
+"""Baseline JPEG substrate: parsing, Huffman scan codec, and a full encoder.
+
+Lepton (the paper's contribution, in :mod:`repro.core`) operates on the
+quantised DCT coefficients of baseline JPEG files.  This subpackage provides
+everything needed to get at those coefficients and to reproduce the original
+file bit-for-bit afterwards:
+
+* :mod:`repro.jpeg.parser` — marker-level parsing with the header bytes kept
+  verbatim (Lepton stores them zlib-compressed, untouched).
+* :mod:`repro.jpeg.scan_decode` / :mod:`repro.jpeg.scan_encode` — the
+  Huffman-coded entropy scan, decoded to coefficient arrays and re-encoded
+  byte-exactly (including restart markers, byte stuffing, and the pad bit).
+* :mod:`repro.jpeg.writer` — a from-scratch baseline JPEG encoder used to
+  build the synthetic corpus (the paper used real user uploads).
+"""
+
+from repro.jpeg.components import Component, FrameInfo, ScanInfo
+from repro.jpeg.errors import JpegError, UnsupportedJpegError
+from repro.jpeg.parser import JpegImage, parse_jpeg
+from repro.jpeg.scan_decode import decode_scan
+from repro.jpeg.scan_encode import encode_scan
+from repro.jpeg.writer import encode_baseline_jpeg
+
+__all__ = [
+    "Component",
+    "FrameInfo",
+    "JpegError",
+    "JpegImage",
+    "ScanInfo",
+    "UnsupportedJpegError",
+    "decode_scan",
+    "encode_baseline_jpeg",
+    "encode_scan",
+    "parse_jpeg",
+]

@@ -1,0 +1,99 @@
+"""Frame/scan geometry: components, sampling factors, and MCU layout."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.jpeg.errors import JpegError
+
+
+@dataclass
+class Component:
+    """One colour component of a frame (SOF) plus its scan (SOS) bindings."""
+
+    component_id: int
+    h: int  # horizontal sampling factor
+    v: int  # vertical sampling factor
+    quant_table_id: int
+    dc_table_id: int = 0
+    ac_table_id: int = 0
+    # Geometry filled in by FrameInfo.finalise():
+    blocks_w: int = 0  # width of the coefficient array, in blocks
+    blocks_h: int = 0  # height of the coefficient array, in blocks
+
+    @property
+    def blocks_per_mcu(self) -> int:
+        return self.h * self.v
+
+
+@dataclass
+class FrameInfo:
+    """Parsed SOF0/SOF1 frame header with derived MCU geometry."""
+
+    precision: int
+    height: int
+    width: int
+    components: List[Component] = field(default_factory=list)
+    mcus_x: int = 0
+    mcus_y: int = 0
+    max_h: int = 1
+    max_v: int = 1
+
+    def finalise(self) -> None:
+        """Compute MCU counts and per-component block-array dimensions."""
+        if not self.components:
+            raise JpegError("frame has no components")
+        if self.width <= 0 or self.height <= 0:
+            raise JpegError("frame has zero dimensions")
+        self.max_h = max(c.h for c in self.components)
+        self.max_v = max(c.v for c in self.components)
+        if self.interleaved:
+            mcu_w = 8 * self.max_h
+            mcu_h = 8 * self.max_v
+            self.mcus_x = (self.width + mcu_w - 1) // mcu_w
+            self.mcus_y = (self.height + mcu_h - 1) // mcu_h
+            for comp in self.components:
+                comp.blocks_w = self.mcus_x * comp.h
+                comp.blocks_h = self.mcus_y * comp.v
+        else:
+            # Single-component scan: the MCU is a single block and the array
+            # is the tight ceil(size/8) grid.
+            comp = self.components[0]
+            comp.blocks_w = (self.width + 7) // 8
+            comp.blocks_h = (self.height + 7) // 8
+            self.mcus_x = comp.blocks_w
+            self.mcus_y = comp.blocks_h
+
+    @property
+    def interleaved(self) -> bool:
+        return len(self.components) > 1
+
+    @property
+    def mcu_count(self) -> int:
+        return self.mcus_x * self.mcus_y
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(c.blocks_w * c.blocks_h for c in self.components)
+
+    def mcu_rows(self) -> int:
+        """Number of MCU rows — the granularity of Lepton thread segments."""
+        return self.mcus_y
+
+
+@dataclass
+class ScanInfo:
+    """Parsed SOS header for the single baseline scan we support."""
+
+    component_order: List[int]  # indices into FrameInfo.components
+    spectral_start: int = 0
+    spectral_end: int = 63
+    approx_high: int = 0
+    approx_low: int = 0
+
+    def is_baseline_full_scan(self) -> bool:
+        return (
+            self.spectral_start == 0
+            and self.spectral_end == 63
+            and self.approx_high == 0
+            and self.approx_low == 0
+        )

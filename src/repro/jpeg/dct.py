@@ -1,0 +1,41 @@
+"""Orthonormal 8x8 DCT-II used by both the JPEG writer and Lepton's predictors.
+
+The basis matrix ``B`` is defined so that a pixel block ``P`` (8x8) and its
+coefficient matrix ``F`` satisfy ``P = B.T @ F @ B`` with ``B @ B.T = I``,
+matching the convention in the paper's Appendix A.2.2.  ``B[u, x]`` is the
+value of basis function ``u`` at pixel ``x``:
+
+    B[u, x] = c(u) * cos((2x + 1) * u * pi / 16),
+    c(0) = sqrt(1/8), c(u>0) = sqrt(2/8)
+"""
+
+import numpy as np
+
+_x = np.arange(8)
+_u = np.arange(8).reshape(-1, 1)
+BASIS = np.cos((2 * _x + 1) * _u * np.pi / 16) * np.sqrt(2.0 / 8.0)
+BASIS[0, :] = np.sqrt(1.0 / 8.0)
+BASIS.setflags(write=False)
+
+
+def fdct2(pixels: np.ndarray) -> np.ndarray:
+    """Forward 2-D DCT of one or more 8x8 pixel blocks.
+
+    Accepts an array whose last two axes are (8, 8); returns coefficients
+    with the same shape.  ``F = B @ P @ B.T``.
+    """
+    return BASIS @ pixels @ BASIS.T
+
+
+def idct2(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse 2-D DCT; exact inverse of :func:`fdct2`.  ``P = B.T @ F @ B``."""
+    return BASIS.T @ coeffs @ BASIS
+
+
+def idct2_rows(coeffs: np.ndarray, rows: slice) -> np.ndarray:
+    """Inverse DCT evaluated only at selected pixel rows.
+
+    Lepton's DC predictor (§A.2.3) needs just the first two pixel rows or
+    columns of a block; computing only those avoids a full IDCT.
+    """
+    return BASIS.T[rows, :] @ coeffs @ BASIS

@@ -1,0 +1,22 @@
+"""Exceptions raised by the JPEG substrate."""
+
+
+class JpegError(Exception):
+    """A structurally invalid JPEG stream (bad marker, truncated segment...)."""
+
+
+class UnsupportedJpegError(JpegError):
+    """A well-formed JPEG that this codec intentionally does not handle.
+
+    Mirrors the production behaviour in the paper (§6.2): progressive scans,
+    CMYK (4-component) images, 12-bit precision, and arithmetic-coded files
+    are detected and skipped rather than compressed.
+    """
+
+    def __init__(self, message: str, reason: str = "unsupported"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class TruncatedJpegError(JpegError):
+    """Input ended in the middle of a marker segment or the entropy scan."""

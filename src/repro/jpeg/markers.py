@@ -1,0 +1,79 @@
+"""JPEG marker constants (ITU-T T.81) and marker classification helpers."""
+
+# Start/end of image
+SOI = 0xD8
+EOI = 0xD9
+
+# Start of frame, by coding process.  Baseline sequential DCT is SOF0; we
+# parse SOF1 (extended sequential) as baseline-compatible when 8-bit.
+SOF0 = 0xC0
+SOF1 = 0xC1
+SOF2 = 0xC2  # progressive (rejected, §6.2)
+SOF3 = 0xC3  # lossless
+SOF5 = 0xC5
+SOF6 = 0xC6
+SOF7 = 0xC7
+JPG = 0xC8
+SOF9 = 0xC9  # extended sequential, arithmetic
+SOF10 = 0xCA  # progressive, arithmetic
+SOF11 = 0xCB
+SOF13 = 0xCD
+SOF14 = 0xCE
+SOF15 = 0xCF
+
+DHT = 0xC4  # define Huffman tables
+DAC = 0xCC  # define arithmetic conditioning (unsupported)
+
+# Restart markers RST0..RST7
+RST0 = 0xD0
+RST7 = 0xD7
+
+SOS = 0xDA  # start of scan
+DQT = 0xDB  # define quantisation tables
+DNL = 0xDC
+DRI = 0xDD  # define restart interval
+DHP = 0xDE
+EXP = 0xDF
+
+APP0 = 0xE0
+APP15 = 0xEF
+COM = 0xFE
+
+TEM = 0x01
+
+SOF_MARKERS = frozenset(
+    [SOF0, SOF1, SOF2, SOF3, SOF5, SOF6, SOF7, SOF9, SOF10, SOF11, SOF13, SOF14, SOF15]
+)
+BASELINE_SOFS = frozenset([SOF0, SOF1])
+PROGRESSIVE_SOFS = frozenset([SOF2, SOF10])
+ARITHMETIC_SOFS = frozenset([SOF9, SOF10, SOF11, SOF13, SOF14, SOF15])
+
+# Markers that are standalone (no 2-byte length field follows).
+_STANDALONE = frozenset([SOI, EOI, TEM] + list(range(RST0, RST7 + 1)))
+
+
+def is_standalone(marker: int) -> bool:
+    """Whether ``marker`` has no length/payload segment."""
+    return marker in _STANDALONE
+
+
+def is_rst(marker: int) -> bool:
+    """Whether ``marker`` is one of the eight restart markers."""
+    return RST0 <= marker <= RST7
+
+
+def marker_name(marker: int) -> str:
+    """Human-readable marker name for diagnostics."""
+    names = {
+        SOI: "SOI", EOI: "EOI", SOS: "SOS", DQT: "DQT", DHT: "DHT",
+        DRI: "DRI", DNL: "DNL", COM: "COM", DAC: "DAC", TEM: "TEM",
+    }
+    if marker in names:
+        return names[marker]
+    if marker in SOF_MARKERS:
+        return f"SOF{marker - SOF0}"
+    if APP0 <= marker <= APP15:
+        return f"APP{marker - APP0}"
+    if is_rst(marker):
+        return f"RST{marker - RST0}"
+    return f"0x{marker:02X}"

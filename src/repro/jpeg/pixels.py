@@ -1,0 +1,84 @@
+"""Full baseline JPEG → pixel decoding.
+
+Lepton itself never needs pixels (it transcodes the coefficient domain),
+but the substrate is incomplete without the inverse path: the DC predictor
+is derived from pixel-domain continuity arguments (§A.2.3), the corpus
+writer needs a fidelity check, and downstream users of a JPEG library
+expect to get an image out.  This module upsamples, inverse-DCTs, and
+colour-converts a parsed image back to RGB or grayscale arrays.
+"""
+
+from typing import List
+
+import numpy as np
+
+from repro.jpeg.dct import idct2
+from repro.jpeg.errors import JpegError
+from repro.jpeg.parser import JpegImage
+
+
+def component_plane(img: JpegImage, index: int) -> np.ndarray:
+    """Reconstruct one component's pixel plane at its natural resolution.
+
+    Returns a float64 array of shape (blocks_h*8, blocks_w*8), level-shifted
+    back to [0, 255] (not clipped).
+    """
+    if not img.coefficients:
+        raise JpegError("decode_scan must run before pixel reconstruction")
+    comp = img.frame.components[index]
+    coeffs = img.coefficients[index].astype(np.float64)
+    quant = img.quant_tables[comp.quant_table_id].reshape(8, 8)
+    blocks = coeffs.reshape(comp.blocks_h, comp.blocks_w, 8, 8) * quant
+    pixels = idct2(blocks) + 128.0
+    # (bh, bw, 8, 8) -> (bh*8, bw*8)
+    return pixels.transpose(0, 2, 1, 3).reshape(comp.blocks_h * 8,
+                                                comp.blocks_w * 8)
+
+
+def _upsample(plane: np.ndarray, factor_y: int, factor_x: int) -> np.ndarray:
+    """Nearest-neighbour chroma upsampling (JFIF's simple variant)."""
+    if factor_y == 1 and factor_x == 1:
+        return plane
+    return np.repeat(np.repeat(plane, factor_y, axis=0), factor_x, axis=1)
+
+
+def ycbcr_to_rgb(y: np.ndarray, cb: np.ndarray, cr: np.ndarray) -> np.ndarray:
+    """JFIF full-range YCbCr → RGB (inverse of the writer's matrix)."""
+    r = y + 1.402 * (cr - 128.0)
+    g = y - 0.344136 * (cb - 128.0) - 0.714136 * (cr - 128.0)
+    b = y + 1.772 * (cb - 128.0)
+    return np.stack([r, g, b], axis=-1)
+
+
+def decode_pixels(img: JpegImage) -> np.ndarray:
+    """Decode a parsed-and-scanned image to uint8 pixels.
+
+    Grayscale frames give ``(H, W)``; colour frames ``(H, W, 3)`` RGB.
+    """
+    frame = img.frame
+    planes: List[np.ndarray] = []
+    for index, comp in enumerate(frame.components):
+        plane = component_plane(img, index)
+        planes.append(
+            _upsample(plane, frame.max_v // comp.v, frame.max_h // comp.h)
+        )
+    height, width = frame.height, frame.width
+    if len(planes) == 1:
+        out = planes[0][:height, :width]
+    elif len(planes) == 3:
+        y, cb, cr = (p[: frame.mcus_y * 8 * frame.max_v,
+                       : frame.mcus_x * 8 * frame.max_h] for p in planes)
+        out = ycbcr_to_rgb(y, cb, cr)[:height, :width]
+    else:
+        raise JpegError(f"cannot convert {len(planes)}-component image")
+    return np.clip(np.round(out), 0, 255).astype(np.uint8)
+
+
+def psnr(a: np.ndarray, b: np.ndarray) -> float:
+    """Peak signal-to-noise ratio between two uint8 images, in dB."""
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    mse = float(np.mean((a.astype(np.float64) - b.astype(np.float64)) ** 2))
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(255.0**2 / mse)

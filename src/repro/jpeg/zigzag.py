@@ -1,0 +1,54 @@
+"""Zigzag scan order for 8x8 DCT blocks (ITU-T T.81 Figure 5).
+
+Coefficients are stored throughout this codebase in *raster* order
+(``block[u * 8 + v]`` with ``u`` the vertical frequency), matching the
+natural layout of the DCT matrix; the entropy scan visits them in zigzag
+order via these tables.
+"""
+
+import numpy as np
+
+# ZIGZAG_TO_RASTER[k] = raster index of the k-th zigzag position.
+ZIGZAG_TO_RASTER = np.array(
+    [
+        0, 1, 8, 16, 9, 2, 3, 10,
+        17, 24, 32, 25, 18, 11, 4, 5,
+        12, 19, 26, 33, 40, 48, 41, 34,
+        27, 20, 13, 6, 7, 14, 21, 28,
+        35, 42, 49, 56, 57, 50, 43, 36,
+        29, 22, 15, 23, 30, 37, 44, 51,
+        58, 59, 52, 45, 38, 31, 39, 46,
+        53, 60, 61, 54, 47, 55, 62, 63,
+    ],
+    dtype=np.int32,
+)
+
+# RASTER_TO_ZIGZAG[r] = zigzag position of raster index r.
+RASTER_TO_ZIGZAG = np.empty(64, dtype=np.int32)
+RASTER_TO_ZIGZAG[ZIGZAG_TO_RASTER] = np.arange(64, dtype=np.int32)
+
+# Zigzag positions of the three coefficient families Lepton distinguishes
+# (§3.3): the 7x7 interior AC block, the 7x1 top-row / 1x7 left-column
+# "edge" coefficients, and the DC coefficient (zigzag 0).
+SEVEN_BY_SEVEN_RASTER = np.array(
+    [u * 8 + v for u in range(1, 8) for v in range(1, 8)], dtype=np.int32
+)
+TOP_ROW_RASTER = np.array([v for v in range(1, 8)], dtype=np.int32)  # F[0, v]
+LEFT_COL_RASTER = np.array([u * 8 for u in range(1, 8)], dtype=np.int32)  # F[u, 0]
+
+# The 49 interior coefficients in zigzag order (what Lepton encodes first).
+SEVEN_BY_SEVEN_ZIGZAG_ORDER = np.array(
+    sorted(SEVEN_BY_SEVEN_RASTER, key=lambda r: RASTER_TO_ZIGZAG[r]), dtype=np.int32
+)
+
+
+def to_zigzag(block_raster: np.ndarray) -> np.ndarray:
+    """Reorder a length-64 raster block into zigzag order."""
+    return block_raster[ZIGZAG_TO_RASTER]
+
+
+def from_zigzag(block_zigzag: np.ndarray) -> np.ndarray:
+    """Reorder a length-64 zigzag block into raster order."""
+    out = np.empty_like(block_zigzag)
+    out[ZIGZAG_TO_RASTER] = block_zigzag
+    return out

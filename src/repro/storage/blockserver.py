@@ -1,0 +1,175 @@
+"""Processor-sharing blockserver model (§5.5).
+
+Each blockserver has 16 cores; "2 simultaneous Lepton decodes (or encodes)
+can completely utilize a machine", yet the load balancer may assign it many
+more.  Jobs therefore share the cores: a job demanding ``threads`` cores
+receives its demand when the machine is undersubscribed and a proportional
+share when oversubscribed — which is precisely how concurrent conversions
+stretch each other's latency and create the Figure-9/10 hotspots.
+
+The transparent-huge-pages stall model (§6.3, Figure 12) hangs off the same
+class: when THP is "enabled", an allocation stall is charged when the
+server's defragmented-page credit runs out, and the credit is replenished
+for the next 10 decodes — stalls are amortised, so p95/p99 suffer
+disproportionately versus the median.
+"""
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.storage.simclock import SimClock
+
+CORES_PER_SERVER = 16
+
+#: Calibrated work coefficients (core-seconds per MiB of JPEG input),
+#: chosen so that a median 1.5-MiB encode on an idle machine lands near the
+#: paper's 170 ms p50 (§4.1).
+ENCODE_CORE_SECONDS_PER_MIB = 0.9
+DECODE_CORE_SECONDS_PER_MIB = 0.45
+
+_job_ids = itertools.count()
+
+
+@dataclass
+class Job:
+    """One request being serviced: work is measured in core-seconds."""
+
+    kind: str  # "lepton_encode" | "lepton_decode" | "other"
+    work: float
+    threads: int
+    arrival: float
+    on_complete: Optional[Callable[["Job"], None]] = None
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+    server_id: Optional[int] = None
+    start_time: float = 0.0
+    finish_time: float = 0.0
+    outsourced: bool = False
+
+    @property
+    def is_lepton(self) -> bool:
+        return self.kind.startswith("lepton")
+
+    @property
+    def latency(self) -> float:
+        return self.finish_time - self.arrival
+
+
+class BlockServer:
+    """A 16-core server running jobs under processor sharing."""
+
+    def __init__(self, clock: SimClock, server_id: int,
+                 cores: int = CORES_PER_SERVER,
+                 thp_enabled: bool = False,
+                 thp_stall_seconds: float = 1.2,
+                 thp_credit: int = 10,
+                 building: int = 0):
+        self.clock = clock
+        self.server_id = server_id
+        self.cores = cores
+        #: Datacenter building (§5.5 footnote 5: conversions outsourced
+        #: across buildings cost 50%–2x more; placement stays in-building).
+        self.building = building
+        self.jobs: Dict[int, Job] = {}
+        self._remaining: Dict[int, float] = {}
+        self._last_update = clock.now
+        self._epoch = 0
+        self.completed = 0
+        self.thp_enabled = thp_enabled
+        self.thp_stall_seconds = thp_stall_seconds
+        self.thp_credit_max = thp_credit
+        self._thp_credit = 0
+        self.busy_core_seconds = 0.0
+
+    # -- processor sharing machinery -----------------------------------
+
+    def _rate(self, job: Job, total_demand: int) -> float:
+        """Cores currently granted to ``job``."""
+        if total_demand <= self.cores:
+            return float(job.threads)
+        return job.threads * self.cores / total_demand
+
+    def _advance(self) -> None:
+        """Account progress since the last state change."""
+        now = self.clock.now
+        dt = now - self._last_update
+        if dt > 0 and self.jobs:
+            total_demand = sum(j.threads for j in self.jobs.values())
+            for job_id, job in self.jobs.items():
+                rate = self._rate(job, total_demand)
+                self._remaining[job_id] = max(
+                    0.0, self._remaining[job_id] - rate * dt
+                )
+                self.busy_core_seconds += rate * dt
+        self._last_update = now
+
+    def _reschedule(self) -> None:
+        """Schedule the next completion under the current sharing rates."""
+        self._epoch += 1
+        if not self.jobs:
+            return
+        epoch = self._epoch
+        total_demand = sum(j.threads for j in self.jobs.values())
+        soonest = None
+        for job_id, job in self.jobs.items():
+            rate = self._rate(job, total_demand)
+            eta = self._remaining[job_id] / rate if rate > 0 else float("inf")
+            if soonest is None or eta < soonest[0]:
+                soonest = (eta, job_id)
+        eta, job_id = soonest
+        self.clock.after(max(eta, 0.0), lambda: self._maybe_complete(epoch, job_id))
+
+    def _maybe_complete(self, epoch: int, job_id: int) -> None:
+        if epoch != self._epoch or job_id not in self.jobs:
+            return  # stale event: state changed since scheduling
+        self._advance()
+        job = self.jobs[job_id]
+        if self._remaining[job_id] > 1e-9:
+            self._reschedule()
+            return
+        del self.jobs[job_id]
+        del self._remaining[job_id]
+        self.completed += 1
+        job.finish_time = self.clock.now
+        self._reschedule()
+        if job.on_complete:
+            job.on_complete(job)
+
+    # -- public interface ------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Start servicing ``job`` on this machine."""
+        self._advance()
+        job.server_id = self.server_id
+        job.start_time = self.clock.now
+        work = job.work
+        if self.thp_enabled and job.is_lepton:
+            # §6.3: Lepton's upfront 200-MiB request makes the kernel
+            # assemble huge pages; the stall amortises over ~10 decodes.
+            if self._thp_credit == 0:
+                work += self.thp_stall_seconds  # kernel time on one core
+                self._thp_credit = self.thp_credit_max
+            else:
+                self._thp_credit -= 1
+        self.jobs[job.job_id] = job
+        self._remaining[job.job_id] = work
+        self._reschedule()
+
+    @property
+    def lepton_count(self) -> int:
+        """Concurrent Lepton conversions (the outsourcing trigger, Fig 9)."""
+        return sum(1 for j in self.jobs.values() if j.is_lepton)
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self.jobs)
+
+
+def encode_work(size_bytes: int) -> float:
+    """Core-seconds to Lepton-encode an input of ``size_bytes``."""
+    return (size_bytes / (1024 * 1024)) * ENCODE_CORE_SECONDS_PER_MIB
+
+
+def decode_work(size_bytes: int) -> float:
+    """Core-seconds to Lepton-decode back to ``size_bytes`` of JPEG."""
+    return (size_bytes / (1024 * 1024)) * DECODE_CORE_SECONDS_PER_MIB

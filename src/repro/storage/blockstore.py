@@ -1,0 +1,107 @@
+"""Content-addressed chunk store with round-trip admission (§5.7).
+
+"The blockservers never admit chunks to the storage system that fail to
+round-trip — meaning, to decode identically to their input."  This store
+enforces that rule with real bytes through the real codec, plus the
+production md5-style integrity check of the stored payload.
+"""
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.chunks import StoredChunk, compress_chunked, decompress_chunk
+from repro.core.errors import ExitCode
+from repro.core.lepton import FORMAT_LEPTON, LeptonConfig
+from repro.storage.chunking import CHUNK_SIZE
+
+
+class IntegrityError(RuntimeError):
+    """Stored payload no longer matches its recorded digest."""
+
+
+@dataclass
+class StoreEntry:
+    """One admitted chunk: payload plus integrity metadata."""
+
+    chunk: StoredChunk
+    payload_md5: str
+    original_sha256: str
+
+
+@dataclass
+class FileRecord:
+    """A stored file: an ordered list of chunk keys."""
+
+    name: str
+    chunk_keys: List[str]
+    size: int
+
+
+@dataclass
+class BlockStore:
+    """In-memory model of the chunk storage backend."""
+
+    chunk_size: int = CHUNK_SIZE
+    config: LeptonConfig = field(default_factory=LeptonConfig)
+    entries: Dict[str, StoreEntry] = field(default_factory=dict)
+    files: Dict[str, FileRecord] = field(default_factory=dict)
+    admissions: int = 0
+    rejected_roundtrips: int = 0
+    lepton_bytes_in: int = 0
+    lepton_bytes_out: int = 0
+    exit_codes: Dict[ExitCode, int] = field(default_factory=dict)
+
+    def put_file(self, name: str, data: bytes) -> FileRecord:
+        """Chunk, compress, verify, and admit a file."""
+        chunks = compress_chunked(data, self.chunk_size, self.config)
+        keys = []
+        for chunk in chunks:
+            a, b = chunk.original_range
+            original = data[a:b]
+            # Admission rule: the stored payload must decode identically.
+            if decompress_chunk(chunk) != original:
+                self.rejected_roundtrips += 1
+                raise IntegrityError(
+                    f"chunk {chunk.index} of {name!r} failed the round-trip gate"
+                )
+            key = hashlib.sha256(original).hexdigest()
+            if key not in self.entries:
+                self.entries[key] = StoreEntry(
+                    chunk=chunk,
+                    payload_md5=hashlib.md5(chunk.payload).hexdigest(),
+                    original_sha256=key,
+                )
+                self.admissions += 1
+                if chunk.format == FORMAT_LEPTON:
+                    self.lepton_bytes_in += len(original)
+                    self.lepton_bytes_out += len(chunk.payload)
+            keys.append(key)
+        record = FileRecord(name, keys, len(data))
+        self.files[name] = record
+        return record
+
+    def get_chunk(self, key: str) -> bytes:
+        """Retrieve and decode one chunk, verifying payload integrity."""
+        entry = self.entries[key]
+        if hashlib.md5(entry.chunk.payload).hexdigest() != entry.payload_md5:
+            raise IntegrityError(f"payload digest mismatch for {key[:12]}")
+        data = decompress_chunk(entry.chunk)
+        if hashlib.sha256(data).hexdigest() != entry.original_sha256:
+            raise IntegrityError(f"decode digest mismatch for {key[:12]}")
+        return data
+
+    def get_file(self, name: str) -> bytes:
+        """Reassemble a stored file from its chunks."""
+        record = self.files[name]
+        return b"".join(self.get_chunk(key) for key in record.chunk_keys)
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(len(e.chunk.payload) for e in self.entries.values())
+
+    @property
+    def savings_fraction(self) -> float:
+        if self.lepton_bytes_in == 0:
+            return 0.0
+        return 1.0 - self.lepton_bytes_out / self.lepton_bytes_in

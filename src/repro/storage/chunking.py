@@ -1,0 +1,46 @@
+"""File chunking and content addressing (§1, §5.6).
+
+The Dropbox back-end stores files as SHA-256-addressed chunks of at most
+4 MiB; the backfill metaservers build exactly these hashes when scanning
+user files.
+"""
+
+import hashlib
+from dataclasses import dataclass
+from typing import List
+
+CHUNK_SIZE = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ChunkRef:
+    """Identity of one stored chunk."""
+
+    sha256: str
+    size: int
+    index: int
+
+
+def split_chunks(data: bytes, chunk_size: int = CHUNK_SIZE) -> List[bytes]:
+    """Split ``data`` into chunks of at most ``chunk_size`` bytes."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    return [data[i : i + chunk_size] for i in range(0, len(data), chunk_size)]
+
+
+def chunk_refs(data: bytes, chunk_size: int = CHUNK_SIZE) -> List[ChunkRef]:
+    """Content-addressed references for each chunk of ``data``."""
+    refs = []
+    for index, chunk in enumerate(split_chunks(data, chunk_size)):
+        refs.append(ChunkRef(hashlib.sha256(chunk).hexdigest(), len(chunk), index))
+    return refs
+
+
+def is_jpeg_start(chunk: bytes) -> bool:
+    """Does this chunk begin with the JPEG start-of-image marker?
+
+    The paper's benchmark sample — and the production Lepton trigger — is
+    exactly this two-byte test (§4): 85% of image storage is occupied by
+    chunks passing it.
+    """
+    return len(chunk) >= 2 and chunk[0] == 0xFF and chunk[1] == 0xD8

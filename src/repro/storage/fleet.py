@@ -1,0 +1,225 @@
+"""Fleet simulation: load balancer + blockservers + outsourcing (§5.5).
+
+Regenerates Figures 9 and 10: requests arrive Poisson with the diurnal
+curve, a type-blind load balancer assigns them to random blockservers, and
+the outsourcing policy reroutes conversions off overloaded machines.  The
+metrics collected are the paper's: per-conversion latency percentiles and
+the per-server count of concurrent Lepton processes.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.segments import choose_thread_count
+from repro.storage.blockserver import (
+    BlockServer,
+    Job,
+    decode_work,
+    encode_work,
+)
+from repro.storage.outsourcing import (
+    NETWORK_DELAY_SECONDS,
+    TCP_OVERHEAD,
+    OutsourcingPolicy,
+    Strategy,
+    transfer_penalty,
+)
+from repro.storage.simclock import SimClock
+from repro.storage.workload import decode_rate, encode_rate
+
+
+@dataclass
+class FleetConfig:
+    """Scaled-down fleet (the production fleet is far larger; queueing
+    behaviour depends on per-server load, which is what we match)."""
+
+    n_blockservers: int = 12
+    n_dedicated: int = 4
+    duration_hours: float = 24.0
+    strategy: Strategy = Strategy.CONTROL
+    threshold: int = 3
+    encode_base_per_second: float = 6.0  # fleet-wide burst events per second
+    decode_to_encode: float = 1.5  # §6.4's steady-state ratio
+    #: Cores busy with non-Lepton requests.  Individually those are "far
+    #: less resource-intensive" (§5.5); in aggregate they just shrink the
+    #: capacity Lepton can claim, so they are modelled as a constant drain
+    #: rather than as millions of simulation events.
+    background_cores: float = 3.0
+    mean_file_mib: float = 1.5  # §5.6.1's average image size
+    #: Uploads arrive in bursts (album syncs, camera uploads): a burst of
+    #: photos lands on the fleet at once, and random assignment then puts
+    #: several conversions on the same machine — the §5.5 hotspot mechanism
+    #: ("individual blockservers will routinely get 15 encodes at once").
+    burst_mean: float = 3.0
+    #: Datacenter buildings; outsourcing targets stay in-building
+    #: (§5.5 footnote 5), cross-building shipping pays a latency penalty.
+    n_buildings: int = 2
+    thp_enabled: bool = False
+    sample_interval: float = 60.0
+    seed: int = 0
+
+
+@dataclass
+class FleetMetrics:
+    """Everything the Figure 9/10/12/14 benches need."""
+
+    jobs: List[Job] = field(default_factory=list)
+    # (time, per-server concurrent Lepton process counts)
+    concurrency_samples: List[Tuple[float, List[int]]] = field(default_factory=list)
+
+    def latencies(self, kind: Optional[str] = None,
+                  t_lo: float = 0.0, t_hi: float = math.inf) -> List[float]:
+        return [
+            j.latency
+            for j in self.jobs
+            if (kind is None or j.kind == kind) and t_lo <= j.arrival < t_hi
+        ]
+
+    def latency_percentiles(self, kind: Optional[str] = None,
+                            t_lo: float = 0.0, t_hi: float = math.inf,
+                            qs=(50, 75, 95, 99)) -> Dict[int, float]:
+        values = self.latencies(kind, t_lo, t_hi)
+        if not values:
+            return {q: 0.0 for q in qs}
+        arr = np.array(values)
+        return {q: float(np.percentile(arr, q)) for q in qs}
+
+    def hourly_concurrency_p99(self) -> List[Tuple[float, float]]:
+        """Per-hour p99 of concurrent Lepton processes across the fleet
+        (Figure 9's y-axis)."""
+        buckets: Dict[int, List[int]] = {}
+        for t, counts in self.concurrency_samples:
+            buckets.setdefault(int(t // 3600), []).extend(counts)
+        return [
+            (hour, float(np.percentile(np.array(counts), 99)))
+            for hour, counts in sorted(buckets.items())
+        ]
+
+    def outsourced_fraction(self) -> float:
+        lepton = [j for j in self.jobs if j.is_lepton]
+        if not lepton:
+            return 0.0
+        return sum(1 for j in lepton if j.outsourced) / len(lepton)
+
+
+class FleetSim:
+    """One simulated day (or window) of the serving fleet."""
+
+    def __init__(self, config: FleetConfig):
+        self.config = config
+        self.clock = SimClock()
+        self.rng = np.random.default_rng(config.seed)
+        lepton_cores = max(2, int(round(16 - config.background_cores)))
+        self.blockservers = [
+            BlockServer(self.clock, i, cores=lepton_cores,
+                        thp_enabled=config.thp_enabled,
+                        building=i % max(config.n_buildings, 1))
+            for i in range(config.n_blockservers)
+        ]
+        # The dedicated cluster runs nothing but Lepton: all 16 cores, and it
+        # "can be packed full of work since there are no contending
+        # processes" (§5.5).
+        self.dedicated = [
+            BlockServer(self.clock, 10_000 + i, cores=16,
+                        building=i % max(config.n_buildings, 1))
+            for i in range(config.n_dedicated)
+        ]
+        self.policy = OutsourcingPolicy(config.strategy, config.threshold)
+        self.metrics = FleetMetrics()
+
+    # -- request handling -------------------------------------------------
+
+    def _sample_size_bytes(self) -> int:
+        mean = self.config.mean_file_mib * 1024 * 1024
+        size = self.rng.lognormal(math.log(mean) - 0.245, 0.7)
+        return int(min(max(size, 50 * 1024), 4 * 1024 * 1024))
+
+    def _submit_lepton_burst(self, kind: str) -> None:
+        burst = 1 + int(self.rng.geometric(1.0 / self.config.burst_mean))
+        for _ in range(burst):
+            self._submit_lepton(kind)
+
+    def _submit_lepton(self, kind: str) -> None:
+        size = self._sample_size_bytes()
+        threads = choose_thread_count(size)
+        work = encode_work(size) if kind == "lepton_encode" else decode_work(size)
+        job = Job(kind, work, threads, self.clock.now,
+                  on_complete=self.metrics.jobs.append)
+        local = self.blockservers[int(self.rng.integers(len(self.blockservers)))]
+        target = self.policy.choose_server(
+            local, self.blockservers, self.dedicated, self.rng
+        )
+        if target is None:
+            local.submit(job)
+        else:
+            job.outsourced = True
+            job.work *= transfer_penalty(local, target)
+            self.clock.after(NETWORK_DELAY_SECONDS, lambda: target.submit(job))
+
+    # -- arrival processes -------------------------------------------------
+
+    def _schedule_arrivals(self, kind: str, rate_fn) -> None:
+        """Non-homogeneous Poisson arrivals via per-event thinning."""
+        peak = max(rate_fn(t * 3600.0) for t in range(int(self.config.duration_hours) + 1))
+        if peak <= 0:
+            return
+
+        def next_arrival():
+            gap = float(self.rng.exponential(1.0 / peak))
+            t = self.clock.now + gap
+            if t > self.config.duration_hours * 3600.0:
+                return
+            self.clock.at(t, lambda: fire())
+
+        def fire():
+            if self.rng.random() < rate_fn(self.clock.now) / peak:
+                self._submit_lepton_burst(kind)
+            next_arrival()
+
+        next_arrival()
+
+    def _schedule_sampling(self) -> None:
+        def sample():
+            counts = [s.lepton_count for s in self.blockservers]
+            self.metrics.concurrency_samples.append((self.clock.now, counts))
+            if self.clock.now + self.config.sample_interval <= self.config.duration_hours * 3600.0:
+                self.clock.after(self.config.sample_interval, sample)
+
+        self.clock.after(self.config.sample_interval, sample)
+
+    # -- entry point ---------------------------------------------------
+
+    def run(self) -> FleetMetrics:
+        cfg = self.config
+        self._schedule_arrivals(
+            "lepton_encode", lambda t: encode_rate(t, cfg.encode_base_per_second)
+        )
+        self._schedule_arrivals(
+            "lepton_decode",
+            lambda t: decode_rate(
+                t, cfg.encode_base_per_second * cfg.decode_to_encode / 1.5
+            ),
+        )
+        self._schedule_sampling()
+        self.clock.run_until(cfg.duration_hours * 3600.0)
+        return self.metrics
+
+
+def run_strategy_comparison(
+    strategies=(Strategy.CONTROL, Strategy.TO_SELF, Strategy.TO_DEDICATED),
+    thresholds=(3, 4),
+    base_config: Optional[FleetConfig] = None,
+) -> Dict[Tuple[str, int], FleetMetrics]:
+    """Run the Figure-10 grid: strategy × threshold (control ignores it)."""
+    results: Dict[Tuple[str, int], FleetMetrics] = {}
+    base = base_config or FleetConfig()
+    for strategy in strategies:
+        for threshold in thresholds if strategy is not Strategy.CONTROL else (base.threshold,):
+            config = FleetConfig(**{**base.__dict__,
+                                    "strategy": strategy,
+                                    "threshold": threshold})
+            results[(strategy.value, threshold)] = FleetSim(config).run()
+    return results

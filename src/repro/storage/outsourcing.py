@@ -1,0 +1,88 @@
+"""Outsourcing strategies (§5.5).
+
+When a blockserver already has more than ``threshold`` simultaneous Lepton
+conversions, new conversions are shipped elsewhere over TCP: either to a
+dedicated Lepton-only cluster ("To dedicated") or to another randomly
+chosen blockserver ("To self").  Outsourced work pays the measured 7.9%
+socket overhead.  "Control" never outsources — the paper's baseline line in
+Figures 9 and 10.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.storage.blockserver import BlockServer
+
+#: Measured overhead of a remote TCP socket vs the local Unix socket (§5.5).
+TCP_OVERHEAD = 0.079
+
+#: In-building network round trip charged on outsourced conversions.
+NETWORK_DELAY_SECONDS = 0.004
+
+#: §5.5 footnote 5: "datacenters in an East Coast U.S. location had a 50%
+#: latency increase for conversions happening in a different building ...
+#: and in a West Coast location, the difference could be as high as a
+#: factor of 2."  Targets are therefore chosen in-building when possible.
+CROSS_BUILDING_PENALTY = 1.5
+
+
+class Strategy(enum.Enum):
+    """The three lines of Figures 9 and 10."""
+
+    CONTROL = "control"
+    TO_SELF = "to_self"
+    TO_DEDICATED = "dedicated"
+
+
+@dataclass
+class OutsourcingPolicy:
+    """Decides where a Lepton conversion runs."""
+
+    strategy: Strategy
+    threshold: int = 3  # outsource if more than this many are running
+    same_building_only: bool = True  # footnote 5's placement rule
+
+    def _in_building(self, local: BlockServer,
+                     servers: List[BlockServer]) -> List[BlockServer]:
+        if not self.same_building_only:
+            return list(servers)
+        same = [s for s in servers if s.building == local.building]
+        return same or list(servers)  # degrade gracefully if a building is empty
+
+    def choose_server(
+        self,
+        local: BlockServer,
+        blockservers: List[BlockServer],
+        dedicated: List[BlockServer],
+        rng: np.random.Generator,
+    ) -> Optional[BlockServer]:
+        """Target server for a new conversion, or None to run locally."""
+        if self.strategy is Strategy.CONTROL:
+            return None
+        if local.lepton_count <= self.threshold:
+            return None
+        if self.strategy is Strategy.TO_DEDICATED:
+            pool = self._in_building(local, dedicated)
+            if not pool:
+                return None
+            return pool[int(rng.integers(len(pool)))]
+        # TO_SELF: two random choices among the other blockservers, pick the
+        # less loaded — "inspired by the power of two random choices" (§5.5).
+        others = [s for s in blockservers if s.server_id != local.server_id]
+        candidates = self._in_building(local, others) if others else []
+        if not candidates:
+            return None
+        first = candidates[int(rng.integers(len(candidates)))]
+        second = candidates[int(rng.integers(len(candidates)))]
+        return first if first.lepton_count <= second.lepton_count else second
+
+
+def transfer_penalty(local: BlockServer, target: BlockServer) -> float:
+    """Work multiplier for shipping a conversion to ``target`` (§5.5)."""
+    factor = 1.0 + TCP_OVERHEAD
+    if target.building != local.building:
+        factor *= CROSS_BUILDING_PENALTY
+    return factor

@@ -1,0 +1,99 @@
+"""Pre-deployment qualification (§5.2, §5.7).
+
+Before any Lepton version ships, it must compress and decompress a corpus
+(a billion images in production, 4 billion for the first release) with
+*both* the optimised build and the sanitising build, yielding identical
+results — the fail-safe that caught the §6.1 reversed-index bug "after just
+a few million images".  Here the two builds are the parallel and the
+sequential decoders: a context-divergence bug between encoder and decoder
+shows up as exactly the kind of mismatch the production harness hunted.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.lepton import (
+    FORMAT_LEPTON,
+    CompressionResult,
+    LeptonConfig,
+    compress,
+    decompress,
+)
+from repro.corpus.builder import CorpusFile
+
+
+@dataclass
+class QualificationFailure:
+    """One file that failed qualification."""
+
+    name: str
+    reason: str
+
+
+@dataclass
+class QualificationReport:
+    """Outcome of a qualification run."""
+
+    build_id: str
+    files_total: int = 0
+    compressed: int = 0
+    skipped: int = 0
+    failures: List[QualificationFailure] = field(default_factory=list)
+    determinism_checks: int = 0
+
+    @property
+    def qualified(self) -> bool:
+        """Zero mismatches between builds = eligible for deployment."""
+        return not self.failures
+
+
+def qualify_build(
+    corpus: Sequence[CorpusFile],
+    build_id: str = "candidate",
+    config: Optional[LeptonConfig] = None,
+    existing_payloads: Sequence[bytes] = (),
+    compress_fn: Optional[Callable[[bytes], CompressionResult]] = None,
+    decoders: Optional[Sequence[Callable[[bytes], bytes]]] = None,
+) -> QualificationReport:
+    """Run the qualification pipeline over ``corpus``.
+
+    ``existing_payloads`` models the second gate: a candidate "must be able
+    to decompress another billion images already compressed in the store"
+    (§5.7) — format compatibility, the gate the §6.7 incident bypassed.
+    """
+    config = config or LeptonConfig()
+    compress_fn = compress_fn or (lambda data: compress(data, config))
+    decoders = decoders or [
+        lambda p: decompress(p, parallel=True),   # optimised (icc) build
+        lambda p: decompress(p, parallel=False),  # sanitising (gcc-asan)
+    ]
+    report = QualificationReport(build_id)
+    for item in corpus:
+        report.files_total += 1
+        result = compress_fn(item.data)
+        if result.format != FORMAT_LEPTON:
+            report.skipped += 1
+            continue
+        report.compressed += 1
+        outputs = []
+        for decoder in decoders:
+            try:
+                outputs.append(decoder(result.payload))
+            except Exception as exc:
+                report.failures.append(
+                    QualificationFailure(item.name, f"decoder raised: {exc}")
+                )
+                outputs.append(None)
+        report.determinism_checks += 1
+        if any(out != item.data for out in outputs):
+            report.failures.append(
+                QualificationFailure(item.name, "build outputs differ from input")
+            )
+    for index, payload in enumerate(existing_payloads):
+        try:
+            decoders[0](payload)
+        except Exception as exc:
+            report.failures.append(
+                QualificationFailure(f"stored_{index}", f"cannot decode stored file: {exc}")
+            )
+    return report

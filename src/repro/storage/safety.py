@@ -1,0 +1,158 @@
+"""Safety mechanisms (§5.7): shutoff switch, safety net, alert pipeline.
+
+Production kept several independent controls: a sub-30-second kill switch
+in /dev/shm, a temporary S3 "safety net" holding Deflate copies of every
+Lepton upload, admission-time round-trip checks, and an automated triage
+queue for decodes that exceed their timeout (§6.6).  Each is modelled here
+faithfully enough to replay the anomalies of §6.5 and §6.7.
+"""
+
+import os
+import tempfile
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.lepton import decompress
+
+#: Config-file deployment takes 15–45 minutes; the shutoff file propagates
+#: in ~30 seconds (§5.7).
+CONFIG_DEPLOY_SECONDS = (15 * 60, 45 * 60)
+SHUTOFF_PROPAGATION_SECONDS = 30.0
+
+
+class ShutoffSwitch:
+    """The /dev/shm kill switch: a file whose presence disables encoding."""
+
+    def __init__(self, directory: Optional[str] = None,
+                 name: str = "lepton_shutoff"):
+        self._dir = directory or tempfile.gettempdir()
+        self._path = os.path.join(self._dir, name)
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def engage(self) -> None:
+        """Place the shutoff file (the on-call playbook's first action)."""
+        with open(self._path, "w") as handle:
+            handle.write("lepton disabled\n")
+
+    def release(self) -> None:
+        if os.path.exists(self._path):
+            os.remove(self._path)
+
+    @property
+    def engaged(self) -> bool:
+        """Checked by every encoder before compressing a new chunk."""
+        return os.path.exists(self._path)
+
+
+class SafetyNetOverloaded(RuntimeError):
+    """The S3 proxy capacity was exceeded (§6.5's truncated-upload storm)."""
+
+
+@dataclass
+class SafetyNet:
+    """The S3 bucket holding uncompressed (Deflate) copies of uploads.
+
+    §6.5: the safety net "was writing more data to S3 ... than all of the
+    rest of Dropbox combined" and collapsed when rerouted traffic exceeded
+    proxy capacity; §5.7: it was eventually deleted, having "never helped
+    to resolve an actual problem".
+    """
+
+    capacity_puts_per_tick: int = 100
+    enabled: bool = True
+    objects: Dict[str, bytes] = field(default_factory=dict)
+    puts_this_tick: int = 0
+    failed_puts: int = 0
+    total_puts: int = 0
+
+    def tick(self) -> None:
+        """Advance the rate-limiting window."""
+        self.puts_this_tick = 0
+
+    def put(self, key: str, original: bytes) -> None:
+        if not self.enabled:
+            return
+        self.total_puts += 1
+        self.puts_this_tick += 1
+        if self.puts_this_tick > self.capacity_puts_per_tick:
+            self.failed_puts += 1
+            raise SafetyNetOverloaded(f"S3 proxy overloaded on put of {key!r}")
+        self.objects[key] = zlib.compress(original, 6)
+
+    def recover(self, key: str) -> bytes:
+        """Disaster-recovery path (exercised in the paper's DRT, §5.7)."""
+        return zlib.decompress(self.objects[key])
+
+    def delete_all(self) -> int:
+        """§5.7: "We have since deleted the safety net"."""
+        count = len(self.objects)
+        self.objects.clear()
+        return count
+
+
+@dataclass
+class Alert:
+    """A page sent to the on-call engineer."""
+
+    kind: str
+    detail: str
+    payload_key: Optional[str] = None
+
+
+@dataclass
+class AlertPipeline:
+    """Round-trip/timeout triage with automated re-checks (§6.6, §5.7).
+
+    A decode that exceeds its timeout is *not* paged immediately: thousands
+    of servers always include some that are swapping or overheating.  The
+    chunk is queued and re-decoded three times on an isolated healthy
+    cluster with both builds; only a real failure pages a human.
+    """
+
+    pages: List[Alert] = field(default_factory=list)
+    timeout_queue: List[str] = field(default_factory=list)
+    quarantine: Dict[str, bytes] = field(default_factory=dict)
+    auto_cleared: int = 0
+
+    def report_timeout(self, key: str, payload: bytes) -> None:
+        self.timeout_queue.append(key)
+        self.quarantine[key] = payload
+
+    def drain_timeout_queue(
+        self,
+        decoders: Optional[List[Callable[[bytes], bytes]]] = None,
+        attempts: int = 3,
+    ) -> List[Alert]:
+        """Re-decode each queued chunk ``attempts`` times with each build."""
+        decoders = decoders or [
+            lambda p: decompress(p, parallel=True),   # icc production build
+            lambda p: decompress(p, parallel=False),  # gcc-asan build
+        ]
+        new_pages = []
+        for key in list(self.timeout_queue):
+            payload = self.quarantine[key]
+            try:
+                outputs = set()
+                for decoder in decoders:
+                    for _ in range(attempts):
+                        outputs.add(decoder(payload))
+                if len(outputs) != 1:
+                    raise RuntimeError("nondeterministic decode outputs")
+            except Exception as exc:  # a real failure: page a human
+                alert = Alert("decode_failure", str(exc), key)
+                self.pages.append(alert)
+                new_pages.append(alert)
+            else:
+                self.auto_cleared += 1
+                del self.quarantine[key]
+            self.timeout_queue.remove(key)
+        return new_pages
+
+    def page(self, kind: str, detail: str) -> Alert:
+        alert = Alert(kind, detail)
+        self.pages.append(alert)
+        return alert

@@ -1,0 +1,57 @@
+"""A minimal discrete-event simulation kernel.
+
+Deterministic: events fire in (time, insertion order) order; all randomness
+in the simulations comes from explicitly seeded generators.
+"""
+
+import heapq
+from typing import Callable, List, Tuple
+
+
+class SimClock:
+    """Event loop with absolute-time scheduling."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+        self._seq = 0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.at(self._now + delay, callback)
+
+    def run_until(self, end: float) -> None:
+        """Fire events in order until simulated time ``end``."""
+        while self._heap and self._heap[0][0] <= end:
+            time, _, callback = heapq.heappop(self._heap)
+            self._now = time
+            callback()
+        self._now = max(self._now, end)
+
+    def run_all(self, limit: int = 10_000_000) -> None:
+        """Drain every scheduled event (with a runaway guard)."""
+        fired = 0
+        while self._heap:
+            time, _, callback = heapq.heappop(self._heap)
+            self._now = time
+            callback()
+            fired += 1
+            if fired > limit:
+                raise RuntimeError("event limit exceeded; runaway simulation?")
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,75 @@
+"""Transparent-huge-pages latency study (§6.3, Figure 12).
+
+On affected machines, Linux spends 15–20% of time in page-table routines
+assembling 2-MiB pages for Lepton's upfront 200-MiB allocation; the stall
+is consumed "without penalty over the next 10 decodes, meaning that the p95
+and p99 times are disproportionately affected ... compared with the median".
+This module runs the fleet model with the stall injection on, disables THP
+mid-run (the paper flipped it on April 13 at 03:00), and reports hourly
+latency percentiles.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.storage.fleet import FleetConfig, FleetSim
+from repro.storage.outsourcing import Strategy
+
+
+@dataclass
+class ThpStudyResult:
+    """Hourly decode-latency percentiles across the THP flip."""
+
+    disable_hour: float
+    hourly: List[Tuple[float, Dict[int, float]]] = field(default_factory=list)
+
+    def percentile_series(self, q: int) -> List[float]:
+        return [row[q] for _, row in self.hourly]
+
+    def tail_to_median_ratio(self, before: bool) -> float:
+        """Mean p99/p50 over the hours before (or after) the flip."""
+        rows = [
+            row for hour, row in self.hourly
+            if (hour < self.disable_hour) == before and row[50] > 0
+        ]
+        if not rows:
+            return 0.0
+        return float(np.mean([row[99] / row[50] for row in rows]))
+
+
+def run_thp_study(
+    hours_before: float = 6.0,
+    hours_after: float = 6.0,
+    stall_seconds: float = 1.5,
+    seed: int = 0,
+    base_config: FleetConfig = None,
+) -> ThpStudyResult:
+    """Simulate the April 13 THP flip: enabled, then disabled at 03:00."""
+    base = base_config or FleetConfig(
+        strategy=Strategy.CONTROL, burst_mean=3.0, encode_base_per_second=3.0
+    )
+
+    def run_window(thp: bool, duration: float, seed_offset: int):
+        config = FleetConfig(**{**base.__dict__,
+                                "duration_hours": duration,
+                                "thp_enabled": thp,
+                                "seed": seed + seed_offset})
+        sim = FleetSim(config)
+        if thp:
+            for server in sim.blockservers:
+                server.thp_stall_seconds = stall_seconds
+        return sim.run()
+
+    result = ThpStudyResult(disable_hour=hours_before)
+    before = run_window(True, hours_before, 0)
+    after = run_window(False, hours_after, 1)
+    for metrics, offset, duration in ((before, 0.0, hours_before),
+                                      (after, hours_before, hours_after)):
+        for h in range(int(duration)):
+            row = metrics.latency_percentiles(
+                "lepton_decode", t_lo=h * 3600.0, t_hi=(h + 1) * 3600.0
+            )
+            result.hourly.append((offset + h, row))
+    return result

@@ -1,0 +1,149 @@
+"""Workload models: diurnal/weekly arrival rates and the rollout ramp.
+
+Reproduces the shapes of three deployment figures:
+
+* Figure 5 — weekday download (decode) rates exceed weekend rates while
+  uploads (encodes) stay flat, so the decode:encode ratio swings between
+  ~1.0 (weekends) and ~1.5 (weekdays).
+* Figure 13 — "boiling the frog": at roll-out almost no stored photo is
+  Lepton-compressed, so decodes start near zero and the ratio ramps up over
+  months as Lepton files accumulate.
+* Figure 14 — the latency consequence of that ramp, via the fleet sim.
+
+All times are UTC seconds; day 0 is a Monday (the paper's timeline anchors
+to 2016 dates — absolute dates only matter for labelling).
+"""
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+def hour_of_day(t: float) -> float:
+    return (t % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+
+
+def day_of_week(t: float) -> int:
+    """0 = Monday ... 6 = Sunday."""
+    return int(t // SECONDS_PER_DAY) % 7
+
+
+def is_weekend(t: float) -> bool:
+    return day_of_week(t) >= 5
+
+
+def diurnal_multiplier(t: float) -> float:
+    """Within-day activity curve: trough ~05:00, peak ~17:00 (Fig 9's shape)."""
+    hour = hour_of_day(t)
+    return 1.0 + 0.55 * math.sin((hour - 11.0) * math.pi / 12.0)
+
+
+def encode_rate(t: float, base_per_second: float) -> float:
+    """Upload (encode) arrival rate: "weekday upload rates are similar to
+    weekends" (Fig 5) — only the diurnal curve applies."""
+    return base_per_second * diurnal_multiplier(t)
+
+
+def decode_rate(t: float, base_per_second: float,
+                weekday_boost: float = 1.5) -> float:
+    """Download (decode) arrival rate: boosted on weekdays (Fig 5)."""
+    boost = 1.0 if is_weekend(t) else weekday_boost
+    return base_per_second * boost * diurnal_multiplier(t)
+
+
+@dataclass
+class WeeklySeries:
+    """Hourly coding-event counts over one week (the Figure 5 series)."""
+
+    hours: List[float]
+    encodes: List[float]
+    decodes: List[float]
+
+    def normalised(self) -> Tuple[List[float], List[float]]:
+        """Both series divided by the weekly minimum (the paper's y-axis)."""
+        min_e = min(v for v in self.encodes if v > 0)
+        min_d = min(v for v in self.decodes if v > 0)
+        return (
+            [v / min_e for v in self.encodes],
+            [v / min_d for v in self.decodes],
+        )
+
+    def daily_ratio(self) -> List[float]:
+        """Decode:encode ratio per day of the week."""
+        ratios = []
+        for day in range(7):
+            e = sum(self.encodes[day * 24 : (day + 1) * 24])
+            d = sum(self.decodes[day * 24 : (day + 1) * 24])
+            ratios.append(d / e if e else 0.0)
+        return ratios
+
+
+def weekly_series(base_encode_per_second: float = 5.0,
+                  weekday_boost: float = 1.5,
+                  seed: int = 0,
+                  sampled: bool = True) -> WeeklySeries:
+    """One week of hourly encode/decode counts (Poisson-sampled)."""
+    rng = np.random.default_rng(seed)
+    hours, encodes, decodes = [], [], []
+    for h in range(7 * 24):
+        t = h * SECONDS_PER_HOUR + SECONDS_PER_HOUR / 2
+        lam_e = encode_rate(t, base_encode_per_second) * SECONDS_PER_HOUR
+        lam_d = decode_rate(t, base_encode_per_second, weekday_boost) * SECONDS_PER_HOUR
+        hours.append(h)
+        if sampled:
+            encodes.append(float(rng.poisson(lam_e)))
+            decodes.append(float(rng.poisson(lam_d)))
+        else:
+            encodes.append(lam_e)
+            decodes.append(lam_d)
+    return WeeklySeries(hours, encodes, decodes)
+
+
+@dataclass
+class RolloutModel:
+    """Figure 13's "boiling the frog" dynamics.
+
+    The stored photo corpus starts with no Lepton files; each day's uploads
+    are Lepton-encoded, so the *fraction* of stored photos (weighted by
+    access recency) that need a Lepton decode on download grows over
+    months.  Recently uploaded photos are downloaded far more often than
+    old ones, which is why the ratio climbs as fast as it does.
+    """
+
+    corpus_photos: float = 10_000_000.0
+    uploads_per_day: float = 120_000.0
+    downloads_per_day: float = 180_000.0
+    #: Fraction of downloads that hit photos uploaded in the last N days.
+    recent_window_days: float = 30.0
+    recent_download_share: float = 0.75
+
+    def lepton_decode_fraction(self, day: float) -> float:
+        """Fraction of downloads that require a Lepton decode on ``day``."""
+        recent_lepton = min(day, self.recent_window_days) / self.recent_window_days
+        old_lepton = min(
+            1.0, max(0.0, day - self.recent_window_days)
+            * self.uploads_per_day / self.corpus_photos
+        )
+        return (
+            self.recent_download_share * recent_lepton
+            + (1.0 - self.recent_download_share) * old_lepton
+        )
+
+    def ratio_series(self, days: int, seed: int = 0) -> List[Tuple[float, float]]:
+        """(day, decode:encode ratio) with weekly download modulation."""
+        rng = np.random.default_rng(seed)
+        series = []
+        for day in range(days):
+            weekday = day % 7 < 5
+            downloads = self.downloads_per_day * (1.15 if weekday else 0.85)
+            downloads *= 1.0 + 0.05 * rng.standard_normal()
+            decodes = downloads * self.lepton_decode_fraction(day)
+            encodes = self.uploads_per_day * (1.0 + 0.05 * rng.standard_normal())
+            series.append((float(day), decodes / encodes))
+        return series

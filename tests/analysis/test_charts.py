@@ -1,0 +1,66 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import line_chart, multi_series, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_input_monotone_bars(self):
+        bars = sparkline([0, 1, 2, 3, 4, 5])
+        assert list(bars) == sorted(bars)
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_extremes_use_full_range(self):
+        bars = sparkline([0, 100])
+        assert bars[0] == "▁"
+        assert bars[-1] == "█"
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        chart = line_chart([1, 2, 3, 2, 1], height=4)
+        lines = chart.splitlines()
+        assert len(lines) == 5  # 4 rows + axis
+        assert all("┤" in line or "└" in line for line in lines)
+
+    def test_title_prepended(self):
+        chart = line_chart([1, 2], title="Figure X")
+        assert chart.splitlines()[0] == "Figure X"
+
+    def test_step_function_visible(self):
+        """A Figure-11-style step must show full columns then empty ones."""
+        chart = line_chart([10] * 5 + [0] * 5, height=3)
+        top_row = chart.splitlines()[0]
+        segment = top_row.split("┤")[1]
+        assert segment[:5] == "█████"
+        assert segment[5:].strip() == ""
+
+    def test_empty_series(self):
+        assert line_chart([], title="t") == "t"
+
+
+class TestMultiSeries:
+    def test_shared_scale(self):
+        out = multi_series(["a", "b"], [[0, 1], [9, 10]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert "[0.00 .. 10.00]" in lines[-1]
+
+    def test_label_alignment(self):
+        out = multi_series(["short", "a-long-label"], [[1], [2]])
+        lines = out.splitlines()
+        bar_col = lines[1].index(" ", len("a-long-label"))
+        assert lines[0][bar_col] == " "
+
+    def test_empty(self):
+        assert multi_series([], [], title="x") == "x"

@@ -1,0 +1,83 @@
+"""Percentiles, summaries, and table rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import Summary, mbits_per_second, percentile, summarize
+from repro.analysis.tables import format_table
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([3, 1, 2], 50) == 2.0
+
+    def test_interpolates(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_extremes(self):
+        data = list(range(100))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 99
+
+    def test_single_value(self):
+        assert percentile([7], 99) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200),
+           st.sampled_from([25, 50, 75, 95, 99]))
+    def test_matches_numpy(self, values, q):
+        assert percentile(values, q) == pytest.approx(
+            float(np.percentile(np.array(values), q)), rel=1e-9, abs=1e-9
+        )
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.p50 == pytest.approx(2.5)
+
+    def test_ordering_invariant(self):
+        s = summarize(list(range(1000)))
+        assert s.p25 <= s.p50 <= s.p75 <= s.p95 <= s.p99
+
+    def test_row_dict(self):
+        row = summarize([5.0]).row()
+        assert row["n"] == 1
+        assert row["p99"] == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestThroughput:
+    def test_mbits(self):
+        assert mbits_per_second(1_000_000, 1.0) == pytest.approx(8.0)
+
+    def test_zero_seconds(self):
+        assert mbits_per_second(100, 0.0) == float("inf")
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["bbbb", 22.125]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.500" in out
+        assert "22.125" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Figure 99")
+        assert out.splitlines()[0] == "Figure 99"
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out

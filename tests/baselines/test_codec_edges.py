@@ -1,0 +1,105 @@
+"""Edge cases of the comparator codecs."""
+
+import pytest
+
+from repro.baselines import jpegrescan_like, mozjpeg_arith, packjpg_like, paq_like
+from repro.core.errors import FormatError
+from repro.corpus.builder import corpus_jpeg
+from repro.corpus.images import flat_image
+from repro.jpeg.writer import encode_baseline_jpeg
+
+
+class TestPaqEdges:
+    def test_empty_input_generic_path(self):
+        payload = paq_like.compress(b"")
+        assert paq_like.decompress(payload) == b""
+
+    def test_single_byte(self):
+        payload = paq_like.compress(b"\x00")
+        assert paq_like.decompress(payload) == b"\x00"
+
+    def test_unknown_magic_rejected(self):
+        with pytest.raises(FormatError):
+            paq_like.decompress(b"ZZ????")
+
+    def test_flat_jpeg_compresses_hard(self):
+        data = encode_baseline_jpeg(flat_image(48, 48), quality=85)
+        payload = paq_like.compress(data)
+        assert len(payload) < len(data)
+        assert paq_like.decompress(payload) == data
+
+    def test_mixer_weights_bounded_over_long_runs(self):
+        mixer = paq_like.Mixer(2)
+        for i in range(5000):
+            p = mixer.mix([0.2, 0.8])
+            mixer.update(i % 2, p)
+        assert all(abs(w) < 50 for w in mixer.weights)
+
+    def test_count_model_renormalises(self):
+        model = paq_like.CountModel()
+        for _ in range(5000):
+            model.update("k", 1)
+        zeros, ones = model.table["k"]
+        assert zeros + ones <= 1024
+
+
+class TestMozjpegEdges:
+    def test_flat_image_all_eob(self):
+        data = encode_baseline_jpeg(flat_image(32, 32), quality=85)
+        payload = mozjpeg_arith.compress(data)
+        assert mozjpeg_arith.decompress(payload) == data
+
+    def test_unknown_magic_rejected(self):
+        with pytest.raises(FormatError):
+            mozjpeg_arith.decompress(b"XY123456789")
+
+    def test_high_quality_dense_blocks(self):
+        data = corpus_jpeg(seed=600, height=48, width=48, quality=97)
+        payload = mozjpeg_arith.compress(data)
+        assert mozjpeg_arith.decompress(payload) == data
+
+
+class TestPackJpgEdges:
+    def test_unknown_magic_rejected(self):
+        with pytest.raises(FormatError):
+            packjpg_like.decompress(b"QQ\x00\x00\x00\x00\x00\x00\x00\x00")
+
+    def test_unknown_mode_byte_rejected(self):
+        data = corpus_jpeg(seed=601, height=32, width=32)
+        payload = bytearray(packjpg_like.compress(data))
+        # The mode byte lives at the start of the zlib meta; corrupt the
+        # zlib stream instead and expect a clean failure.
+        payload[12] ^= 0xFF
+        with pytest.raises(Exception):
+            packjpg_like.decompress(bytes(payload))
+
+    def test_planar_mode_on_grayscale(self):
+        data = corpus_jpeg(seed=602, height=40, width=40, grayscale=True)
+        payload = packjpg_like.compress(data, mode="planar")
+        assert packjpg_like.decompress(payload) == data
+
+
+class TestJpegRescanEdges:
+    def test_explicit_modes_roundtrip_flat_image(self):
+        data = encode_baseline_jpeg(flat_image(40, 40), quality=85)
+        for mode in ("optimize", "progressive", "best"):
+            payload = jpegrescan_like.compress(data, mode=mode)
+            assert jpegrescan_like.decompress(payload) == data, mode
+
+    def test_unknown_mode_rejected(self):
+        data = corpus_jpeg(seed=603, height=32, width=32)
+        with pytest.raises(ValueError):
+            jpegrescan_like.compress(data, mode="zopfli")
+
+    def test_best_never_larger_than_optimize(self):
+        data = corpus_jpeg(seed=604, height=64, width=64)
+        best = jpegrescan_like.compress(data, mode="best")
+        optimize = jpegrescan_like.compress(data, mode="optimize")
+        assert len(best) <= len(optimize)
+
+    def test_unknown_flavour_byte_rejected(self):
+        data = corpus_jpeg(seed=605, height=32, width=32)
+        payload = bytearray(jpegrescan_like.compress(data))
+        payload[2] = ord("Q")
+        with pytest.raises(FormatError):
+            jpegrescan_like.decompress(bytes(payload))

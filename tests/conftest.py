@@ -1,0 +1,41 @@
+"""Shared fixtures: small deterministic JPEGs (cached per session)."""
+
+import pytest
+
+from repro.corpus.builder import corpus_jpeg
+from repro.corpus.images import synthetic_photo
+from repro.jpeg.writer import encode_baseline_jpeg
+
+
+@pytest.fixture(scope="session")
+def small_jpeg() -> bytes:
+    """64x64 colour 4:2:0 JPEG — the workhorse input."""
+    return corpus_jpeg(seed=1, height=64, width=64, quality=85)
+
+
+@pytest.fixture(scope="session")
+def gray_jpeg() -> bytes:
+    return corpus_jpeg(seed=2, height=48, width=56, quality=80, grayscale=True)
+
+
+@pytest.fixture(scope="session")
+def rst_jpeg() -> bytes:
+    """JPEG with restart markers every 3 MCUs."""
+    return corpus_jpeg(seed=3, height=64, width=80, quality=85, restart_interval=3)
+
+
+@pytest.fixture(scope="session")
+def odd_jpeg() -> bytes:
+    """Odd dimensions + 4:2:0: exercises MCU padding."""
+    pixels = synthetic_photo(37, 61, seed=4)
+    return encode_baseline_jpeg(pixels, quality=85, subsampling="4:2:0")
+
+
+@pytest.fixture(scope="session")
+def trailer_jpeg() -> bytes:
+    """JPEG with a comment segment and appended garbage (§A.3)."""
+    pixels = synthetic_photo(40, 40, seed=5)
+    return encode_baseline_jpeg(
+        pixels, quality=85, comment=b"shot on a synthetic camera",
+        trailer=b"\x00\x01TV-FORMAT-TRAILER" * 3,
+    )

@@ -1,0 +1,90 @@
+"""The ``lepton`` command-line tool."""
+
+import pytest
+
+from repro.cli import EXIT_STATUS, main
+from repro.core.errors import ExitCode
+from repro.corpus.builder import corpus_jpeg
+
+
+@pytest.fixture()
+def jpeg_path(tmp_path):
+    path = tmp_path / "photo.jpg"
+    path.write_bytes(corpus_jpeg(seed=50, height=48, width=48))
+    return path
+
+
+def test_compress_decompress_cycle(tmp_path, jpeg_path):
+    lep = tmp_path / "photo.lep"
+    out = tmp_path / "photo.out.jpg"
+    assert main(["compress", str(jpeg_path), str(lep), "--quiet"]) == 0
+    assert lep.stat().st_size < jpeg_path.stat().st_size
+    assert main(["decompress", str(lep), str(out), "--quiet"]) == 0
+    assert out.read_bytes() == jpeg_path.read_bytes()
+
+
+def test_verify_command(jpeg_path):
+    assert main(["verify", str(jpeg_path), "--quiet"]) == 0
+
+
+def test_thread_override(tmp_path, jpeg_path):
+    lep = tmp_path / "x.lep"
+    assert main(["compress", str(jpeg_path), str(lep), "--threads", "4",
+                 "--quiet"]) == 0
+
+
+def test_reject_returns_nonzero_without_fallback(tmp_path):
+    bad = tmp_path / "bad.bin"
+    bad.write_bytes(b"not a jpeg")
+    status = main(["compress", str(bad), "--no-fallback", "--quiet"])
+    assert status == EXIT_STATUS[ExitCode.NOT_AN_IMAGE]
+
+
+def test_reject_with_fallback_reports_code(tmp_path):
+    bad = tmp_path / "bad.bin"
+    bad.write_bytes(b"not a jpeg")
+    out = tmp_path / "bad.z"
+    status = main(["compress", str(bad), str(out), "--quiet"])
+    assert status == EXIT_STATUS[ExitCode.NOT_AN_IMAGE]
+    assert out.exists()
+
+
+def test_stdout_output(tmp_path, jpeg_path, capsysbinary):
+    assert main(["compress", str(jpeg_path), "-", "--quiet"]) == 0
+    payload = capsysbinary.readouterr().out
+    assert payload[:2] == b"\xCF\x84"
+
+
+def test_qualify_clean_directory(tmp_path):
+    for seed in range(3):
+        data = corpus_jpeg(seed=300 + seed, height=40, width=40)
+        (tmp_path / f"photo_{seed}.jpg").write_bytes(data)
+    (tmp_path / "notes.txt").write_bytes(b"not a jpeg")  # skipped, not failed
+    assert main(["qualify", str(tmp_path), "--quiet"]) == 0
+
+
+def test_qualify_reports_counts(tmp_path, capsys):
+    (tmp_path / "a.jpg").write_bytes(corpus_jpeg(seed=310, height=32, width=32))
+    assert main(["qualify", str(tmp_path)]) == 0
+    err = capsys.readouterr().err
+    assert "QUALIFIED" in err
+
+
+def test_allow_cmyk_flag(tmp_path):
+    import numpy as np
+
+    from repro.corpus.images import synthetic_photo
+    from repro.jpeg.writer import encode_baseline_jpeg
+
+    rgb = synthetic_photo(32, 32, seed=12)
+    cmyk = np.concatenate(
+        [rgb, np.full((32, 32, 1), 60, dtype=np.uint8)], axis=2
+    )
+    path = tmp_path / "print.jpg"
+    path.write_bytes(encode_baseline_jpeg(cmyk, quality=85))
+    out = tmp_path / "print.lep"
+    # Production default: rejected (nonzero status without fallback)...
+    assert main(["compress", str(path), "--no-fallback", "--quiet"]) != 0
+    # ...extended path: compresses.
+    assert main(["compress", str(path), str(out), "--allow-cmyk",
+                 "--quiet"]) == 0

@@ -1,0 +1,110 @@
+"""§6.2 exit-code classification and resource limits."""
+
+import zlib
+
+import pytest
+
+from repro.core.errors import ExitCode
+from repro.core.lepton import (
+    FORMAT_DEFLATE,
+    LeptonConfig,
+    compress,
+    decompress,
+)
+from repro.corpus import corruptions
+from repro.corpus.builder import corpus_jpeg
+
+
+@pytest.fixture(scope="module")
+def base_jpeg():
+    return corpus_jpeg(seed=40, height=64, width=64, quality=85)
+
+
+class TestClassification:
+    def test_success(self, base_jpeg):
+        assert compress(base_jpeg).exit_code is ExitCode.SUCCESS
+
+    def test_progressive(self, base_jpeg):
+        result = compress(corruptions.make_progressive(base_jpeg))
+        assert result.exit_code is ExitCode.PROGRESSIVE
+
+    def test_arithmetic_coded_unsupported(self, base_jpeg):
+        result = compress(corruptions.make_arithmetic(base_jpeg))
+        assert result.exit_code is ExitCode.UNSUPPORTED_JPEG
+
+    def test_cmyk(self):
+        assert compress(corruptions.make_cmyk()).exit_code is ExitCode.CMYK
+
+    def test_not_an_image_random_bytes_with_soi(self):
+        result = compress(corruptions.not_an_image(seed=1))
+        assert result.exit_code is ExitCode.NOT_AN_IMAGE
+
+    def test_not_an_image_no_soi(self):
+        result = compress(b"hello world, definitely text")
+        assert result.exit_code is ExitCode.NOT_AN_IMAGE
+
+    def test_header_only_unsupported(self, base_jpeg):
+        result = compress(corruptions.make_header_only(base_jpeg))
+        assert result.exit_code in (ExitCode.UNSUPPORTED_JPEG, ExitCode.NOT_AN_IMAGE)
+
+    def test_truncated_unsupported(self, base_jpeg):
+        result = compress(corruptions.truncate(base_jpeg, 0.5))
+        assert result.exit_code is not ExitCode.SUCCESS
+
+    def test_big_sampling_factors(self, base_jpeg):
+        idx = base_jpeg.find(bytes([0xFF, 0xC0]))
+        data = bytearray(base_jpeg)
+        data[idx + 11] = 0x33
+        result = compress(bytes(data))
+        assert result.exit_code is ExitCode.CHROMA_SUBSAMPLE_BIG
+
+
+class TestFallback:
+    def test_rejects_stored_as_deflate(self, base_jpeg):
+        data = corruptions.make_progressive(base_jpeg)
+        result = compress(data)
+        assert result.format == FORMAT_DEFLATE
+        assert decompress(result.payload) == data
+
+    def test_fallback_payload_is_plain_zlib(self):
+        result = compress(b"some text")
+        assert zlib.decompress(result.payload) == b"some text"
+
+    def test_detail_explains_rejection(self, base_jpeg):
+        result = compress(corruptions.make_progressive(base_jpeg))
+        assert "progressive" in result.detail.lower()
+
+
+class TestResourceLimits:
+    def test_decode_memory_limit(self, base_jpeg):
+        config = LeptonConfig(decode_memory_limit=1024)
+        result = compress(base_jpeg, config)
+        assert result.exit_code is ExitCode.DECODE_MEMORY_EXCEEDED
+        assert result.format == FORMAT_DEFLATE
+
+    def test_encode_memory_limit(self, base_jpeg):
+        config = LeptonConfig(decode_memory_limit=None, encode_memory_limit=1024)
+        result = compress(base_jpeg, config)
+        assert result.exit_code is ExitCode.ENCODE_MEMORY_EXCEEDED
+
+    def test_production_limits_pass_small_files(self, base_jpeg):
+        result = compress(base_jpeg, LeptonConfig())  # 24 MiB / 178 MiB
+        assert result.ok
+
+    def test_timeout(self, base_jpeg):
+        config = LeptonConfig(timeout_seconds=0.0)
+        result = compress(base_jpeg, config)
+        assert result.exit_code is ExitCode.TIMEOUT
+
+    def test_no_timeout_by_default(self, base_jpeg):
+        assert compress(base_jpeg).exit_code is ExitCode.SUCCESS
+
+
+class TestExitCodeEnum:
+    def test_paper_labels(self):
+        assert ExitCode.DECODE_MEMORY_EXCEEDED.value == ">24 MiB mem decode"
+        assert ExitCode.ROUNDTRIP_FAILED.value == "Roundtrip failed"
+
+    def test_only_success_is_success(self):
+        assert ExitCode.SUCCESS.is_success
+        assert sum(1 for c in ExitCode if c.is_success) == 1

@@ -1,0 +1,189 @@
+"""Container format: handover words, serialisation, corruption handling."""
+
+import struct
+
+import pytest
+
+from repro.core.errors import FormatError, VersionError
+from repro.core.format import (
+    GIT_REVISION,
+    MAGIC,
+    LeptonFile,
+    SegmentRecord,
+    read_container,
+    write_container,
+)
+from repro.core.handover import HandoverWord
+
+
+def _handover(mcu=0, dc=(5, -3, 12)):
+    return HandoverWord(mcu=mcu, partial_byte=0xA0, partial_bits=3,
+                        dc_pred=dc, rst_emitted=2)
+
+
+def _sample_file(n_segments=2, data_size=600):
+    segments = []
+    mcus_per = 10
+    for i in range(n_segments):
+        segments.append(
+            SegmentRecord(
+                i * mcus_per, (i + 1) * mcus_per,
+                _handover(mcu=i * mcus_per),
+                bytes([i]) * (data_size + i * 37),
+            )
+        )
+    return LeptonFile(
+        jpeg_header=b"\xFF\xD8HEADER-BYTES",
+        pad_bit=1,
+        rst_count=4,
+        output_size=12_345,
+        prefix_offset=0,
+        prefix_length=14,
+        trailer=b"\xFF\xD9tail",
+        scan_skip=3,
+        scan_take=1200,
+        pad_final=True,
+        segments=segments,
+    )
+
+
+class TestHandoverWord:
+    def test_pack_unpack_roundtrip(self):
+        word = _handover()
+        unpacked, offset = HandoverWord.unpack(word.pack())
+        assert unpacked == word
+        assert offset == len(word.pack())
+
+    def test_unpack_with_offset(self):
+        word = _handover(dc=(7,))
+        blob = b"xyz" + word.pack() + b"rest"
+        unpacked, offset = HandoverWord.unpack(blob, 3)
+        assert unpacked == word
+        assert blob[offset:] == b"rest"
+
+    def test_truncated_rejected(self):
+        with pytest.raises(FormatError):
+            HandoverWord.unpack(b"\x00\x01")
+
+    def test_bad_partial_bits_rejected(self):
+        word = _handover()
+        blob = bytearray(word.pack())
+        blob[5] = 9  # partial_bits field
+        with pytest.raises(FormatError):
+            HandoverWord.unpack(bytes(blob))
+
+    def test_negative_dc_preserved(self):
+        word = HandoverWord(0, 0, 0, (-30_000, 30_000), 0)
+        assert HandoverWord.unpack(word.pack())[0].dc_pred == (-30_000, 30_000)
+
+    def test_from_position(self):
+        from repro.jpeg.scan_encode import ScanPosition
+
+        pos = ScanPosition(7, 100, 0x80, 1, (1, 2, 3), 5)
+        word = HandoverWord.from_position(pos)
+        assert (word.mcu, word.partial_byte, word.rst_emitted) == (7, 0x80, 5)
+
+
+class TestContainer:
+    def test_roundtrip(self):
+        original = _sample_file()
+        parsed = read_container(write_container(original))
+        assert parsed.jpeg_header == original.jpeg_header
+        assert parsed.pad_bit == original.pad_bit
+        assert parsed.rst_count == original.rst_count
+        assert parsed.output_size == original.output_size
+        assert parsed.scan_skip == original.scan_skip
+        assert parsed.scan_take == original.scan_take
+        assert parsed.pad_final == original.pad_final
+        assert len(parsed.segments) == 2
+        for got, want in zip(parsed.segments, original.segments):
+            assert got.mcu_start == want.mcu_start
+            assert got.mcu_end == want.mcu_end
+            assert got.handover == want.handover
+            assert got.data == want.data
+
+    def test_magic_and_version_bytes(self):
+        payload = write_container(_sample_file())
+        assert payload[:2] == MAGIC
+        assert payload[2] == 1
+        assert payload[3] == ord("Z")
+
+    def test_git_revision_embedded(self):
+        payload = write_container(_sample_file())
+        assert GIT_REVISION in payload[:20]
+
+    def test_interleaving_round_robins_segments(self):
+        payload = write_container(_sample_file(data_size=10_000),
+                                  interleave_slice=256)
+        # Section headers alternate between segment ids 0 and 1 initially.
+        offset = 28 + struct.unpack_from("<I", payload, 24)[0]
+        first_ids = []
+        for _ in range(4):
+            sid, length = struct.unpack_from("<BI", payload, offset)
+            first_ids.append(sid)
+            offset += 5 + length
+        assert first_ids == [0, 1, 0, 1]
+
+    def test_zero_segments_allowed(self):
+        """Header-only chunks carry no arithmetic sections."""
+        empty = _sample_file(n_segments=0)
+        empty.segments = []
+        parsed = read_container(write_container(empty))
+        assert parsed.segments == []
+
+    def test_prefix_slice_view(self):
+        lf = _sample_file()
+        lf.prefix_offset, lf.prefix_length = 2, 6
+        assert lf.prefix == lf.jpeg_header[2:8]
+
+
+class TestContainerCorruption:
+    def test_bad_magic(self):
+        payload = bytearray(write_container(_sample_file()))
+        payload[0] = 0x00
+        with pytest.raises(FormatError):
+            read_container(bytes(payload))
+
+    def test_unknown_version_raises_version_error(self):
+        """§6.7: an old decoder meeting a newer format must fail loudly."""
+        payload = bytearray(write_container(_sample_file()))
+        payload[2] = 9
+        with pytest.raises(VersionError) as exc:
+            read_container(bytes(payload))
+        assert exc.value.found == 9
+
+    def test_truncated_zlib_section(self):
+        payload = write_container(_sample_file())
+        with pytest.raises(FormatError):
+            read_container(payload[:40])
+
+    def test_corrupt_zlib_payload(self):
+        payload = bytearray(write_container(_sample_file()))
+        payload[30] ^= 0xFF
+        with pytest.raises(FormatError):
+            read_container(bytes(payload))
+
+    def test_truncated_section_payload(self):
+        payload = write_container(_sample_file())
+        with pytest.raises(FormatError):
+            read_container(payload[:-20])
+
+    def test_section_size_mismatch_detected(self):
+        payload = write_container(_sample_file())
+        # Drop the final section entirely → per-segment size check fires.
+        offset = 28 + struct.unpack_from("<I", payload, 24)[0]
+        sections = []
+        pos = offset
+        while pos < len(payload):
+            sid, length = struct.unpack_from("<BI", payload, pos)
+            sections.append((pos, 5 + length))
+            pos += 5 + length
+        start, _ = sections[-1]
+        with pytest.raises(FormatError):
+            read_container(payload[:start])
+
+    def test_implausible_segment_count(self):
+        payload = bytearray(write_container(_sample_file()))
+        payload[4:8] = struct.pack("<I", 1000)
+        with pytest.raises(FormatError):
+            read_container(bytes(payload))

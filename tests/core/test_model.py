@@ -1,0 +1,139 @@
+"""Adaptive statistic bins and context bucketing."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import (
+    Branch,
+    Model,
+    ModelConfig,
+    avg_bucket,
+    confidence_bucket,
+    nnz_bucket,
+    pred_bucket,
+)
+
+
+class TestBranch:
+    def test_starts_at_even_odds(self):
+        assert Branch().prob_zero == 128
+
+    def test_zeros_raise_prob_zero(self):
+        b = Branch()
+        for _ in range(20):
+            b.record(0)
+        assert b.prob_zero > 200
+
+    def test_ones_lower_prob_zero(self):
+        b = Branch()
+        for _ in range(20):
+            b.record(1)
+        assert b.prob_zero < 56
+
+    def test_prob_clamped_to_valid_range(self):
+        b = Branch()
+        for _ in range(10_000):
+            b.record(0)
+        assert 1 <= b.prob_zero <= 255
+
+    def test_renormalisation_keeps_counts_in_byte(self):
+        b = Branch()
+        for i in range(10_000):
+            b.record(i % 3 == 0)
+        assert 1 <= b.zeros <= 255
+        assert 1 <= b.ones <= 255
+
+    def test_renormalisation_preserves_skew(self):
+        b = Branch()
+        for _ in range(300):
+            b.record(0)
+        before = b.prob_zero
+        for _ in range(3):
+            b.record(0)
+        assert b.prob_zero >= before - 2  # halving must not flip the skew
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 1), max_size=2000))
+    def test_prob_always_valid(self, bits):
+        b = Branch()
+        for bit in bits:
+            b.record(bit)
+            assert 1 <= b.prob_zero <= 255
+
+
+class TestModel:
+    def test_bins_created_lazily(self):
+        m = Model()
+        assert m.bin_count == 0
+        m.branch(("a", 1))
+        m.branch(("a", 2))
+        m.branch(("a", 1))  # same context: no new bin
+        assert m.bin_count == 2
+
+    def test_bins_are_independent(self):
+        m = Model()
+        m.branch(("x",)).record(0)
+        assert m.branch(("y",)).prob_zero == 128
+
+    def test_charge_accumulates_information(self):
+        m = Model()
+        m.set_category("dc")
+        m.charge(128, 0)
+        assert m.bit_costs["dc"] == pytest.approx(1.0)
+        m.charge(128, 1)
+        assert m.bit_costs["dc"] == pytest.approx(2.0)
+
+    def test_charge_weights_by_surprise(self):
+        m = Model()
+        m.set_category("7x7")
+        m.charge(250, 0)  # expected: cheap
+        cheap = m.bit_costs["7x7"]
+        m2 = Model()
+        m2.set_category("7x7")
+        m2.charge(250, 1)  # surprising: expensive
+        assert m2.bit_costs["7x7"] > cheap * 5
+
+    def test_default_config(self):
+        assert Model().config.edge_mode == "lakhani"
+        assert Model().config.dc_mode == "gradient"
+
+    def test_config_carried(self):
+        config = ModelConfig(edge_mode="avg", dc_mode="packjpg")
+        assert Model(config).config.dc_mode == "packjpg"
+
+
+class TestBuckets:
+    def test_nnz_bucket_zero(self):
+        assert nnz_bucket(0) == 0
+
+    def test_nnz_bucket_monotone(self):
+        values = [nnz_bucket(n) for n in range(50)]
+        assert values == sorted(values)
+        assert max(values) == 8  # 1.59^9 ≈ 64 > 49
+        assert nnz_bucket(64) == 9  # large counts saturate the last bucket
+
+    def test_nnz_bucket_matches_log159(self):
+        for n in (1, 2, 5, 10, 30, 49):
+            assert nnz_bucket(n) == min(int(math.log(n) / math.log(1.59)), 9)
+
+    def test_avg_bucket_caps(self):
+        assert avg_bucket(0) == 0
+        assert avg_bucket(1) == 1
+        assert avg_bucket(10**9) == 11
+
+    def test_pred_bucket_signed(self):
+        assert pred_bucket(5) == 3
+        assert pred_bucket(-5) == -3
+        assert pred_bucket(0) == 0
+
+    def test_pred_bucket_caps(self):
+        assert pred_bucket(10**9) == 11
+        assert pred_bucket(-(10**9)) == -11
+
+    def test_confidence_bucket(self):
+        assert confidence_bucket(0) == 0
+        assert confidence_bucket(1) == 1
+        assert confidence_bucket(1 << 20) == 13

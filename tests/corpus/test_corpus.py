@@ -1,0 +1,121 @@
+"""Synthetic image generation and corpus construction."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.builder import CorpusFile, build_corpus, corpus_jpeg, jpeg_sweep
+from repro.corpus.corruptions import (
+    append_garbage,
+    concatenated_jpegs,
+    make_header_only,
+    not_an_image,
+    truncate,
+    zero_run_tail,
+)
+from repro.corpus.images import flat_image, noise_image, synthetic_photo
+
+
+class TestSyntheticPhoto:
+    def test_shape_and_dtype(self):
+        img = synthetic_photo(32, 48, seed=1)
+        assert img.shape == (32, 48, 3)
+        assert img.dtype == np.uint8
+
+    def test_grayscale_shape(self):
+        assert synthetic_photo(16, 16, seed=1, grayscale=True).shape == (16, 16)
+
+    def test_deterministic_per_seed(self):
+        a = synthetic_photo(24, 24, seed=7)
+        b = synthetic_photo(24, 24, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_photo(24, 24, seed=1)
+        b = synthetic_photo(24, 24, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_has_photo_like_smoothness(self):
+        """Neighbouring pixels correlate — the statistic Lepton exploits."""
+        img = synthetic_photo(64, 64, seed=3, noise=1.0).astype(np.float64)
+        horizontal_diff = np.abs(np.diff(img[..., 0], axis=1)).mean()
+        assert horizontal_diff < 12.0
+
+    def test_channels_correlated(self):
+        img = synthetic_photo(48, 48, seed=4).astype(np.float64)
+        r, g = img[..., 0].ravel(), img[..., 1].ravel()
+        assert np.corrcoef(r, g)[0, 1] > 0.8
+
+    def test_flat_and_noise_helpers(self):
+        assert np.all(flat_image(8, 8, value=77) == 77)
+        noise = noise_image(16, 16, seed=1)
+        assert noise.std() > 40
+
+
+class TestCorpusBuilder:
+    def test_corpus_jpeg_cached_and_deterministic(self):
+        assert corpus_jpeg(seed=5) == corpus_jpeg(seed=5)
+
+    def test_sweep_varies_parameters(self):
+        files = jpeg_sweep(8, seed=0)
+        sizes = {f.size for f in files}
+        assert len(sizes) > 3
+        assert all(f.category == "jpeg" for f in files)
+
+    def test_build_corpus_includes_rejects(self):
+        corpus = build_corpus(n_jpegs=6, seed=1)
+        categories = {f.category for f in corpus}
+        assert "jpeg" in categories
+        assert "progressive" in categories
+        assert "not_image" in categories
+        assert "cmyk" in categories
+
+    def test_build_corpus_without_rejects(self):
+        corpus = build_corpus(n_jpegs=4, seed=1, include_rejects=False)
+        assert all(f.category == "jpeg" for f in corpus)
+
+    def test_corpus_file_size(self):
+        f = CorpusFile("x", b"1234", "jpeg")
+        assert f.size == 4
+
+
+class TestCorruptions:
+    def test_truncate_shortens(self, small_jpeg):
+        assert len(truncate(small_jpeg, 0.5)) < len(small_jpeg)
+
+    def test_zero_run_preserves_length(self, small_jpeg):
+        out = zero_run_tail(small_jpeg, 64)
+        assert len(out) == len(small_jpeg)
+        assert out[-64:] == bytes(64)
+
+    def test_append_garbage_deterministic(self, small_jpeg):
+        assert append_garbage(small_jpeg, seed=1) == append_garbage(small_jpeg, seed=1)
+
+    def test_concatenated_jpegs_roundtrip(self):
+        """§A.3: thumbnail+image files round-trip; only the first JPEG gets
+        the coefficient model — the second rides along as trailer bytes
+        (zlib-compressed, so its *scan* stays essentially uncompressed)."""
+        from repro.core.format import read_container
+        from repro.core.lepton import compress, decompress
+
+        thumb = corpus_jpeg(seed=8, height=32, width=32)
+        full = corpus_jpeg(seed=9, height=96, width=96)
+        data = concatenated_jpegs(thumb, full)
+        result = compress(data)
+        assert result.ok
+        assert decompress(result.payload) == data
+        parsed = read_container(result.payload)
+        assert parsed.trailer.endswith(full)  # second file is raw trailer
+        # The arithmetic-coded part covers only the thumbnail's blocks.
+        thumb_only = compress(thumb)
+        assert sum(len(s.data) for s in parsed.segments) <= 1.2 * sum(
+            len(s.data) for s in read_container(thumb_only.payload).segments
+        )
+
+    def test_not_an_image_soi_prefix(self):
+        assert not_an_image(with_soi=True)[:2] == b"\xFF\xD8"
+        assert not_an_image(with_soi=False)[:2] != b"\xFF\xD8"
+
+    def test_header_only_ends_with_eoi(self, small_jpeg):
+        data = make_header_only(small_jpeg)
+        assert data.endswith(b"\xFF\xD9")
+        assert len(data) < len(small_jpeg)

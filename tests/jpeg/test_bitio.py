@@ -1,0 +1,218 @@
+"""BitWriter/BitReader: stuffing, padding, handover seeding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jpeg.bitio import BitReader, BitWriter
+from repro.jpeg.errors import JpegError, TruncatedJpegError
+
+
+class TestBitWriter:
+    def test_empty_writer_has_no_output(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_single_byte_msb_first(self):
+        w = BitWriter(stuff=False)
+        w.write_bits(0b10110001, 8)
+        assert w.getvalue() == bytes([0b10110001])
+
+    def test_bits_accumulate_across_writes(self):
+        w = BitWriter(stuff=False)
+        w.write_bits(0b101, 3)
+        w.write_bits(0b10001, 5)
+        assert w.getvalue() == bytes([0b10110001])
+
+    def test_partial_byte_not_emitted(self):
+        w = BitWriter(stuff=False)
+        w.write_bits(0b1111, 4)
+        assert w.getvalue() == b""
+        assert w.partial_state == (0b11110000, 4)
+
+    def test_ff_byte_is_stuffed(self):
+        w = BitWriter()
+        w.write_bits(0xFF, 8)
+        assert w.getvalue() == b"\xFF\x00"
+
+    def test_stuffing_disabled(self):
+        w = BitWriter(stuff=False)
+        w.write_bits(0xFF, 8)
+        assert w.getvalue() == b"\xFF"
+
+    def test_pad_to_byte_zero(self):
+        w = BitWriter(stuff=False)
+        w.write_bits(0b11, 2)
+        w.pad_to_byte(0)
+        assert w.getvalue() == bytes([0b11000000])
+
+    def test_pad_to_byte_one(self):
+        w = BitWriter(stuff=False)
+        w.write_bits(0b0, 1)
+        w.pad_to_byte(1)
+        assert w.getvalue() == bytes([0b01111111])
+
+    def test_pad_on_aligned_writer_is_noop(self):
+        w = BitWriter(stuff=False)
+        w.write_bits(0xAB, 8)
+        w.pad_to_byte(1)
+        assert w.getvalue() == bytes([0xAB])
+
+    def test_marker_requires_alignment(self):
+        w = BitWriter()
+        w.write_bit(1)
+        with pytest.raises(JpegError):
+            w.emit_marker(0xD0)
+
+    def test_marker_bytes_not_stuffed(self):
+        w = BitWriter()
+        w.emit_marker(0xD3)
+        assert w.getvalue() == b"\xFF\xD3"
+
+    def test_handover_seeding_completes_previous_byte(self):
+        # First writer stops mid-byte; second resumes with its partial state.
+        first = BitWriter(stuff=False)
+        first.write_bits(0b10110, 5)
+        partial_byte, partial_bits = first.partial_state
+        second = BitWriter(partial_byte=partial_byte, partial_bits=partial_bits,
+                           stuff=False)
+        second.write_bits(0b011, 3)
+        assert second.getvalue() == bytes([0b10110011])
+
+    def test_handover_seeded_ff_still_stuffed(self):
+        first = BitWriter()
+        first.write_bits(0b1111111, 7)
+        pb, bits = first.partial_state
+        second = BitWriter(partial_byte=pb, partial_bits=bits)
+        second.write_bit(1)
+        assert second.getvalue() == b"\xFF\x00"
+
+    def test_invalid_partial_bits_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter(partial_bits=8)
+
+    def test_bit_position_counts_partial_bits(self):
+        w = BitWriter(stuff=False)
+        w.write_bits(0b111, 3)
+        assert w.bit_position == 3
+        w.write_bits(0xFF, 8)
+        assert w.bit_position == 11
+        assert w.bytes_emitted == 1
+
+
+class TestBitReader:
+    def test_reads_msb_first(self):
+        r = BitReader(bytes([0b10110001]))
+        assert [r.read_bit() for _ in range(8)] == [1, 0, 1, 1, 0, 0, 0, 1]
+
+    def test_read_bits_multibyte(self):
+        r = BitReader(bytes([0xAB, 0xCD]))
+        assert r.read_bits(16) == 0xABCD
+
+    def test_stuffed_ff_consumed_as_data(self):
+        r = BitReader(b"\xFF\x00\x80")
+        assert r.read_bits(8) == 0xFF
+        assert r.read_bits(8) == 0x80
+
+    def test_marker_in_scan_raises(self):
+        r = BitReader(b"\xFF\xD9")
+        with pytest.raises(JpegError):
+            r.read_bit()
+
+    def test_truncated_raises(self):
+        r = BitReader(b"")
+        with pytest.raises(TruncatedJpegError):
+            r.read_bit()
+
+    def test_truncated_after_ff_raises(self):
+        r = BitReader(b"\xFF")
+        with pytest.raises(TruncatedJpegError):
+            r.read_bit()
+
+    def test_expect_rst_present(self):
+        r = BitReader(b"\xFF\xD2\x00")
+        assert r.expect_rst(2)
+        assert r.byte_position == 2
+
+    def test_expect_rst_index_mod_8(self):
+        r = BitReader(b"\xFF\xD1")
+        assert r.expect_rst(9)  # 9 & 7 == 1
+
+    def test_expect_rst_absent_leaves_position(self):
+        r = BitReader(b"\x12\x34")
+        assert not r.expect_rst(0)
+        assert r.byte_position == 0
+
+    def test_expect_rst_requires_alignment(self):
+        r = BitReader(b"\x80\xFF\xD0")
+        r.read_bit()
+        with pytest.raises(JpegError):
+            r.expect_rst(0)
+
+    def test_align_discards_pending_bits(self):
+        r = BitReader(bytes([0b10000000, 0xAA]))
+        r.read_bit()
+        r.align()
+        assert r.read_bits(8) == 0xAA
+
+
+class TestDrain:
+    def test_drain_returns_and_clears_buffer(self):
+        w = BitWriter(stuff=False)
+        w.write_bits(0xABCD, 16)
+        assert w.drain() == b"\xAB\xCD"
+        assert w.getvalue() == b""
+
+    def test_bytes_emitted_counts_across_drains(self):
+        w = BitWriter(stuff=False)
+        w.write_bits(0xAB, 8)
+        w.drain()
+        w.write_bits(0xCD, 8)
+        assert w.bytes_emitted == 2
+        assert w.bit_position == 16
+
+    def test_partial_byte_survives_drain(self):
+        w = BitWriter(stuff=False)
+        w.write_bits(0b10101, 5)
+        assert w.drain() == b""
+        w.write_bits(0b011, 3)
+        assert w.drain() == bytes([0b10101011])
+
+    def test_drained_pieces_concatenate_to_getvalue_equivalent(self):
+        reference = BitWriter()
+        windowed = BitWriter()
+        pieces = []
+        for i in range(200):
+            reference.write_bits(i & 0x1FF, 9)
+            windowed.write_bits(i & 0x1FF, 9)
+            if i % 7 == 0:
+                pieces.append(windowed.drain())
+        reference.pad_to_byte(1)
+        windowed.pad_to_byte(1)
+        pieces.append(windowed.drain())
+        assert b"".join(pieces) == reference.getvalue()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=0, max_size=300))
+def test_writer_reader_roundtrip_property(bits):
+    """Any bit sequence written (stuffed) reads back identically."""
+    w = BitWriter()
+    for bit in bits:
+        w.write_bit(bit)
+    w.pad_to_byte(0)
+    r = BitReader(w.getvalue())
+    assert [r.read_bit() for _ in range(len(bits))] == bits
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 0xFFFF), st.integers(1, 16)),
+                max_size=60))
+def test_multi_width_roundtrip_property(chunks):
+    """Mixed-width writes read back with the same widths."""
+    w = BitWriter()
+    for value, nbits in chunks:
+        w.write_bits(value, nbits)
+    w.pad_to_byte(1)
+    r = BitReader(w.getvalue())
+    for value, nbits in chunks:
+        assert r.read_bits(nbits) == value & ((1 << nbits) - 1)

@@ -1,0 +1,73 @@
+"""FrameInfo/ScanInfo geometry math."""
+
+import pytest
+
+from repro.jpeg.components import Component, FrameInfo, ScanInfo
+from repro.jpeg.errors import JpegError
+
+
+def _frame(width, height, samplings):
+    frame = FrameInfo(precision=8, height=height, width=width)
+    for i, (h, v) in enumerate(samplings, start=1):
+        frame.components.append(Component(i, h, v, 0))
+    frame.finalise()
+    return frame
+
+
+class TestGeometry:
+    def test_444_mcu_grid(self):
+        frame = _frame(64, 48, [(1, 1), (1, 1), (1, 1)])
+        assert (frame.mcus_x, frame.mcus_y) == (8, 6)
+        assert frame.components[0].blocks_w == 8
+
+    def test_420_mcu_grid(self):
+        frame = _frame(64, 48, [(2, 2), (1, 1), (1, 1)])
+        assert (frame.mcus_x, frame.mcus_y) == (4, 3)
+        assert frame.components[0].blocks_w == 8
+        assert frame.components[1].blocks_w == 4
+
+    def test_422_mcu_grid(self):
+        frame = _frame(64, 48, [(2, 1), (1, 1), (1, 1)])
+        assert (frame.mcus_x, frame.mcus_y) == (4, 6)
+        assert frame.components[0].blocks_h == 6
+
+    def test_single_component_tight_grid(self):
+        frame = _frame(65, 17, [(1, 1)])
+        assert not frame.interleaved
+        assert (frame.mcus_x, frame.mcus_y) == (9, 3)
+        assert frame.total_blocks == 27
+
+    def test_padding_rounds_up(self):
+        frame = _frame(17, 17, [(2, 2), (1, 1), (1, 1)])
+        assert frame.mcus_x == 2  # ceil(17/16)
+        assert frame.components[0].blocks_w == 4  # padded to the MCU grid
+
+    def test_blocks_per_mcu(self):
+        frame = _frame(32, 32, [(2, 2), (1, 1), (1, 1)])
+        assert frame.components[0].blocks_per_mcu == 4
+        assert frame.components[1].blocks_per_mcu == 1
+
+    def test_mcu_rows_is_segment_granularity(self):
+        frame = _frame(64, 80, [(2, 2), (1, 1), (1, 1)])
+        assert frame.mcu_rows() == frame.mcus_y == 5
+
+    def test_empty_frame_rejected(self):
+        frame = FrameInfo(precision=8, height=10, width=10)
+        with pytest.raises(JpegError):
+            frame.finalise()
+
+    def test_zero_dimensions_rejected(self):
+        frame = FrameInfo(precision=8, height=0, width=10)
+        frame.components.append(Component(1, 1, 1, 0))
+        with pytest.raises(JpegError):
+            frame.finalise()
+
+
+class TestScanInfo:
+    def test_baseline_full_scan(self):
+        assert ScanInfo([0, 1, 2]).is_baseline_full_scan()
+
+    def test_partial_spectral_not_baseline(self):
+        assert not ScanInfo([0], spectral_start=1).is_baseline_full_scan()
+        assert not ScanInfo([0], spectral_end=5).is_baseline_full_scan()
+        assert not ScanInfo([0], approx_low=1).is_baseline_full_scan()

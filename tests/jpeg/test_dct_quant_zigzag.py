@@ -1,0 +1,105 @@
+"""DCT basis, quantisation tables, zigzag maps."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg.dct import BASIS, fdct2, idct2, idct2_rows
+from repro.jpeg.quant import CHROMA_BASE, LUMA_BASE, quality_tables, scale_table
+from repro.jpeg.zigzag import (
+    LEFT_COL_RASTER,
+    RASTER_TO_ZIGZAG,
+    SEVEN_BY_SEVEN_RASTER,
+    TOP_ROW_RASTER,
+    ZIGZAG_TO_RASTER,
+    from_zigzag,
+    to_zigzag,
+)
+
+
+class TestDct:
+    def test_basis_is_orthonormal(self):
+        assert np.allclose(BASIS @ BASIS.T, np.eye(8), atol=1e-12)
+
+    def test_idct_inverts_fdct(self):
+        rng = np.random.default_rng(0)
+        block = rng.uniform(-128, 127, (8, 8))
+        assert np.allclose(idct2(fdct2(block)), block, atol=1e-9)
+
+    def test_constant_block_is_pure_dc(self):
+        coeffs = fdct2(np.full((8, 8), 100.0))
+        assert coeffs[0, 0] == pytest.approx(800.0)
+        assert np.allclose(coeffs.flatten()[1:], 0.0, atol=1e-9)
+
+    def test_batched_blocks(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.uniform(-10, 10, (3, 5, 8, 8))
+        assert np.allclose(idct2(fdct2(blocks)), blocks, atol=1e-9)
+
+    def test_idct_rows_matches_full(self):
+        rng = np.random.default_rng(2)
+        coeffs = rng.uniform(-50, 50, (8, 8))
+        full = idct2(coeffs)
+        assert np.allclose(idct2_rows(coeffs, slice(0, 2)), full[0:2], atol=1e-9)
+
+    def test_dc_basis_value(self):
+        # DC basis contributes coefficient/8 per pixel (used by the DC
+        # predictor's fixed-point math).
+        coeffs = np.zeros((8, 8))
+        coeffs[0, 0] = 8.0
+        assert np.allclose(idct2(coeffs), 1.0)
+
+
+class TestQuant:
+    def test_quality_50_is_base(self):
+        assert np.array_equal(scale_table(LUMA_BASE, 50), LUMA_BASE)
+
+    def test_quality_100_is_all_ones(self):
+        assert np.all(scale_table(LUMA_BASE, 100) == 1)
+
+    def test_lower_quality_coarser(self):
+        q30 = scale_table(LUMA_BASE, 30)
+        q80 = scale_table(LUMA_BASE, 80)
+        assert np.all(q30 >= q80)
+
+    def test_values_clipped_to_byte(self):
+        q1 = scale_table(CHROMA_BASE, 1)
+        assert q1.max() <= 255
+        assert q1.min() >= 1
+
+    @pytest.mark.parametrize("quality", [0, 101, -5])
+    def test_invalid_quality_rejected(self, quality):
+        with pytest.raises(ValueError):
+            scale_table(LUMA_BASE, quality)
+
+    def test_quality_tables_pair(self):
+        luma, chroma = quality_tables(75)
+        assert luma.shape == (64,)
+        assert chroma.shape == (64,)
+        assert not np.array_equal(luma, chroma)
+
+
+class TestZigzag:
+    def test_zigzag_is_permutation(self):
+        assert sorted(ZIGZAG_TO_RASTER.tolist()) == list(range(64))
+
+    def test_maps_are_inverse(self):
+        for raster in range(64):
+            assert ZIGZAG_TO_RASTER[RASTER_TO_ZIGZAG[raster]] == raster
+
+    def test_first_entries_match_spec(self):
+        assert ZIGZAG_TO_RASTER[:6].tolist() == [0, 1, 8, 16, 9, 2]
+
+    def test_to_from_zigzag_roundtrip(self):
+        block = np.arange(64)
+        assert np.array_equal(from_zigzag(to_zigzag(block)), block)
+
+    def test_category_partition_is_complete(self):
+        union = set(SEVEN_BY_SEVEN_RASTER) | set(TOP_ROW_RASTER) | set(LEFT_COL_RASTER) | {0}
+        assert union == set(range(64))
+        assert len(SEVEN_BY_SEVEN_RASTER) == 49
+        assert len(TOP_ROW_RASTER) == 7
+        assert len(LEFT_COL_RASTER) == 7
+
+    def test_top_row_is_first_coefficient_row(self):
+        assert all(r // 8 == 0 and r % 8 >= 1 for r in TOP_ROW_RASTER)
+        assert all(r % 8 == 0 and r // 8 >= 1 for r in LEFT_COL_RASTER)

@@ -1,0 +1,142 @@
+"""Canonical Huffman tables: build, code, optimise."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jpeg.bitio import BitReader, BitWriter
+from repro.jpeg.errors import JpegError
+from repro.jpeg.huffman import (
+    STD_AC_CHROMA,
+    STD_AC_LUMA,
+    STD_DC_CHROMA,
+    STD_DC_LUMA,
+    HuffmanTable,
+    build_optimal_table,
+)
+
+
+def _roundtrip_symbols(table, symbols):
+    w = BitWriter()  # stuffing on: matches the scan reader's expectations
+    for s in symbols:
+        code, length = table.encode_symbol(s)
+        w.write_bits(code, length)
+    w.pad_to_byte(0)
+    r = BitReader(w.getvalue())
+    return [table.decode_symbol(r) for _ in symbols]
+
+
+class TestCanonicalTables:
+    def test_simple_table_codes(self):
+        # bits: one 1-bit code, two 2-bit codes.
+        t = HuffmanTable([1, 2] + [0] * 14, [5, 6, 7])
+        assert t.encode_symbol(5) == (0b0, 1)
+        assert t.encode_symbol(6) == (0b10, 2)
+        assert t.encode_symbol(7) == (0b11, 2)
+
+    def test_decode_inverts_encode(self):
+        t = HuffmanTable([0, 2, 2] + [0] * 13, [1, 2, 3, 4])
+        assert _roundtrip_symbols(t, [4, 1, 3, 2, 2]) == [4, 1, 3, 2, 2]
+
+    def test_std_tables_roundtrip(self):
+        for table in (STD_DC_LUMA, STD_DC_CHROMA, STD_AC_LUMA, STD_AC_CHROMA):
+            symbols = table.values[:: max(1, len(table.values) // 17)]
+            assert _roundtrip_symbols(table, symbols) == symbols
+
+    def test_std_ac_luma_shape(self):
+        assert sum(STD_AC_LUMA.bits) == 162
+        assert STD_AC_LUMA.max_length == 16
+
+    def test_unknown_symbol_raises(self):
+        t = HuffmanTable([1] + [0] * 15, [9])
+        with pytest.raises(JpegError):
+            t.encode_symbol(10)
+
+    def test_contains(self):
+        t = HuffmanTable([1] + [0] * 15, [9])
+        assert 9 in t
+        assert 10 not in t
+
+    def test_invalid_code_in_stream_raises(self):
+        t = HuffmanTable([1] + [0] * 15, [9])  # only code "0" defined
+        r = BitReader(bytes([0xFF, 0x00]))  # all ones: never matches
+        with pytest.raises(JpegError):
+            t.decode_symbol(r)
+
+    def test_bits_values_mismatch_rejected(self):
+        with pytest.raises(JpegError):
+            HuffmanTable([2] + [0] * 15, [1])
+
+    def test_code_overflow_rejected(self):
+        # Three 1-bit codes cannot exist.
+        with pytest.raises(JpegError):
+            HuffmanTable([3] + [0] * 15, [1, 2, 3])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(JpegError):
+            HuffmanTable([0] * 16, [])
+
+    def test_dht_payload_layout(self):
+        t = HuffmanTable([1, 1] + [0] * 14, [3, 4])
+        payload = t.dht_payload(1, 2)
+        assert payload[0] == 0x12
+        assert list(payload[1:17]) == t.bits
+        assert list(payload[17:]) == [3, 4]
+
+    def test_equality(self):
+        a = HuffmanTable([1, 1] + [0] * 14, [3, 4])
+        b = HuffmanTable([1, 1] + [0] * 14, [3, 4])
+        c = HuffmanTable([1, 1] + [0] * 14, [4, 3])
+        assert a == b
+        assert a != c
+
+
+class TestOptimalTables:
+    def test_skewed_frequencies_get_short_codes(self):
+        freq = {0: 1000, 1: 10, 2: 10, 3: 1}
+        t = build_optimal_table(freq)
+        assert t.encode_symbol(0)[1] < t.encode_symbol(3)[1]
+
+    def test_all_lengths_within_16(self):
+        # Fibonacci-ish frequencies force long codes; must stay JPEG-legal.
+        freq = {i: max(1, 2**i) for i in range(40)}
+        t = build_optimal_table(freq)
+        assert t.max_length <= 16
+
+    def test_roundtrips(self):
+        freq = {i: (i * 37) % 11 + 1 for i in range(25)}
+        t = build_optimal_table(freq)
+        symbols = sorted(freq)
+        assert _roundtrip_symbols(t, symbols) == symbols
+
+    def test_single_symbol_table(self):
+        t = build_optimal_table({7: 100})
+        code, length = t.encode_symbol(7)
+        assert length >= 1
+
+    def test_no_symbols_raises(self):
+        with pytest.raises(JpegError):
+            build_optimal_table({})
+
+    def test_zero_count_symbols_skipped(self):
+        t = build_optimal_table({1: 10, 2: 0})
+        assert 1 in t
+        assert 2 not in t
+
+    def test_beats_standard_table_on_skewed_data(self):
+        # An optimal table should never be longer than Annex K on its own
+        # empirical distribution (over the symbols it contains).
+        freq = {0x01: 5000, 0x02: 100, 0x00: 2500, 0x11: 30}
+        optimal = build_optimal_table(freq)
+        cost_optimal = sum(optimal.encode_symbol(s)[1] * n for s, n in freq.items())
+        cost_std = sum(STD_AC_LUMA.encode_symbol(s)[1] * n for s, n in freq.items())
+        assert cost_optimal <= cost_std
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.dictionaries(st.integers(0, 255), st.integers(1, 10_000),
+                           min_size=1, max_size=64))
+    def test_optimal_table_always_legal_and_decodable(self, freq):
+        t = build_optimal_table(freq)
+        assert t.max_length <= 16
+        symbols = sorted(freq)
+        assert _roundtrip_symbols(t, symbols) == symbols

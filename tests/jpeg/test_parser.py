@@ -1,0 +1,167 @@
+"""JPEG marker parsing and the rejection taxonomy."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.corpus import corruptions
+from repro.corpus.builder import corpus_jpeg
+from repro.jpeg.errors import JpegError, TruncatedJpegError, UnsupportedJpegError
+from repro.jpeg.parser import find_scan_end, parse_jpeg
+
+
+class TestParseValid:
+    def test_parses_colour_jpeg(self, small_jpeg):
+        img = parse_jpeg(small_jpeg)
+        assert img.frame.width == 64
+        assert img.frame.height == 64
+        assert len(img.frame.components) == 3
+        assert img.frame.precision == 8
+
+    def test_header_plus_scan_plus_trailer_reassembles(self, small_jpeg):
+        img = parse_jpeg(small_jpeg)
+        assert img.original_bytes() == small_jpeg
+
+    def test_grayscale_single_component(self, gray_jpeg):
+        img = parse_jpeg(gray_jpeg)
+        assert len(img.frame.components) == 1
+        assert not img.frame.interleaved
+
+    def test_subsampling_factors(self, small_jpeg):
+        img = parse_jpeg(small_jpeg)  # 4:2:0
+        luma = img.frame.components[0]
+        assert (luma.h, luma.v) == (2, 2)
+        assert img.frame.components[1].h == 1
+
+    def test_mcu_geometry_420(self, small_jpeg):
+        img = parse_jpeg(small_jpeg)
+        assert img.frame.mcus_x == 4  # 64 / 16
+        assert img.frame.mcus_y == 4
+        assert img.frame.components[0].blocks_w == 8
+
+    def test_restart_interval_parsed(self, rst_jpeg):
+        img = parse_jpeg(rst_jpeg)
+        assert img.restart_interval == 3
+
+    def test_quant_and_huffman_tables_present(self, small_jpeg):
+        img = parse_jpeg(small_jpeg)
+        assert set(img.quant_tables) == {0, 1}
+        assert set(img.huffman_tables) == {(0, 0), (1, 0), (0, 1), (1, 1)}
+
+    def test_trailer_preserved(self, trailer_jpeg):
+        img = parse_jpeg(trailer_jpeg)
+        assert img.trailer_bytes.startswith(b"\xFF\xD9")
+        assert b"TV-FORMAT-TRAILER" in img.trailer_bytes
+
+    def test_comment_stays_in_header(self, trailer_jpeg):
+        img = parse_jpeg(trailer_jpeg)
+        assert b"synthetic camera" in img.header_bytes
+
+    def test_odd_dimensions(self, odd_jpeg):
+        img = parse_jpeg(odd_jpeg)
+        assert (img.frame.width, img.frame.height) == (61, 37)
+        assert img.frame.mcus_x == (61 + 15) // 16
+
+
+class TestRejects:
+    def test_progressive_rejected(self, small_jpeg):
+        data = corruptions.make_progressive(small_jpeg)
+        with pytest.raises(UnsupportedJpegError) as exc:
+            parse_jpeg(data)
+        assert exc.value.reason == "progressive"
+
+    def test_arithmetic_rejected(self, small_jpeg):
+        data = corruptions.make_arithmetic(small_jpeg)
+        with pytest.raises(UnsupportedJpegError) as exc:
+            parse_jpeg(data)
+        assert exc.value.reason == "arithmetic"
+
+    def test_cmyk_rejected(self):
+        with pytest.raises(UnsupportedJpegError) as exc:
+            parse_jpeg(corruptions.make_cmyk())
+        assert exc.value.reason == "cmyk"
+
+    def test_header_only_rejected(self, small_jpeg):
+        data = corruptions.make_header_only(small_jpeg)
+        with pytest.raises(JpegError):
+            parse_jpeg(data)
+
+    def test_not_soi_rejected(self):
+        with pytest.raises(JpegError):
+            parse_jpeg(b"PNG\x00\x01\x02\x03")
+
+    def test_empty_rejected(self):
+        with pytest.raises(JpegError):
+            parse_jpeg(b"")
+
+    def test_truncated_segment_rejected(self, small_jpeg):
+        with pytest.raises(TruncatedJpegError):
+            parse_jpeg(small_jpeg[:8])
+
+    def test_large_sampling_factors_rejected(self, small_jpeg):
+        # Patch the luma sampling factors in SOF to 4x4.
+        idx = small_jpeg.find(bytes([0xFF, 0xC0]))
+        body = bytearray(small_jpeg)
+        body[idx + 11] = 0x44  # first component's HV byte
+        with pytest.raises(UnsupportedJpegError) as exc:
+            parse_jpeg(bytes(body))
+        assert exc.value.reason == "chroma_subsample"
+
+    def test_twelve_bit_precision_rejected(self, small_jpeg):
+        idx = small_jpeg.find(bytes([0xFF, 0xC0]))
+        body = bytearray(small_jpeg)
+        body[idx + 4] = 12
+        with pytest.raises(UnsupportedJpegError) as exc:
+            parse_jpeg(bytes(body))
+        assert exc.value.reason == "precision"
+
+    def test_dht_overflow_rejected(self):
+        """The §6.7 fuzzing bug: DHT claiming more values than the segment
+        holds must be rejected, not read out of bounds."""
+        dht_bits = bytes([0x00]) + bytes([0, 16] + [0] * 14)  # claims 16 values
+        payload = dht_bits + b"\x01\x02"  # provides only 2
+        segment = struct.pack(">BBH", 0xFF, 0xC4, len(payload) + 2) + payload
+        data = b"\xFF\xD8" + segment
+        with pytest.raises(TruncatedJpegError):
+            parse_jpeg(data)
+
+    def test_zero_quant_entry_rejected(self, small_jpeg):
+        idx = small_jpeg.find(bytes([0xFF, 0xDB]))
+        body = bytearray(small_jpeg)
+        body[idx + 5] = 0  # first table value → 0
+        with pytest.raises(JpegError):
+            parse_jpeg(bytes(body))
+
+    def test_missing_quant_table_rejected(self, gray_jpeg):
+        # Point the component at a table id that was never defined.
+        idx = gray_jpeg.find(bytes([0xFF, 0xC0]))
+        body = bytearray(gray_jpeg)
+        body[idx + 12] = 3
+        with pytest.raises(JpegError):
+            parse_jpeg(bytes(body))
+
+    def test_random_bytes_with_soi_rejected(self):
+        data = corruptions.not_an_image(seed=3)
+        with pytest.raises(JpegError):
+            parse_jpeg(data)
+
+
+class TestScanEnd:
+    def test_scan_end_at_eoi(self, small_jpeg):
+        img = parse_jpeg(small_jpeg)
+        end = find_scan_end(small_jpeg, img.scan_start)
+        assert small_jpeg[end : end + 2] == b"\xFF\xD9"
+
+    def test_rst_markers_do_not_end_scan(self, rst_jpeg):
+        img = parse_jpeg(rst_jpeg)
+        assert any(
+            img.scan_data[i] == 0xFF and 0xD0 <= img.scan_data[i + 1] <= 0xD7
+            for i in range(len(img.scan_data) - 1)
+        )
+
+    def test_truncated_scan_runs_to_end(self, small_jpeg):
+        cut = corruptions.truncate(small_jpeg, keep_fraction=0.7)
+        img = parse_jpeg(cut)
+        assert img.trailer_bytes == b""
+        assert img.scan_data == cut[img.scan_start :]

@@ -1,0 +1,90 @@
+"""Parser fuzzing: the §6.7 lesson (uncmpjpg's unvalidated tables).
+
+A security researcher fuzzed open-source Lepton and found buffer overruns
+in its JPEG-parsing library; the fix was bounds-checking every access.  In
+Python overruns become exceptions for free, but the parser must still fail
+*cleanly* (our error types only) and never hang, whatever bytes arrive.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.builder import corpus_jpeg
+from repro.jpeg.errors import JpegError
+from repro.jpeg.parser import parse_jpeg
+from repro.jpeg.scan_decode import decode_scan
+
+
+def _try_parse(data):
+    try:
+        img = parse_jpeg(data)
+        decode_scan(img)
+        return img
+    except JpegError:
+        return None
+    except (OverflowError, MemoryError) as exc:  # resource bombs: fail test
+        raise AssertionError(f"resource exhaustion on fuzz input: {exc}")
+
+
+class TestHeaderMutations:
+    @pytest.fixture(scope="class")
+    def base(self):
+        return corpus_jpeg(seed=500, height=48, width=48)
+
+    def test_every_single_byte_flip_in_header_is_clean(self, base):
+        """Exhaustively flip each header byte: parse either succeeds or
+        raises a JpegError — never anything else."""
+        img = parse_jpeg(base)
+        header_len = img.scan_start
+        for pos in range(2, header_len):
+            mutated = bytearray(base)
+            mutated[pos] ^= 0xFF
+            _try_parse(bytes(mutated))
+
+    def test_random_multibyte_mutations(self, base):
+        rng = random.Random(1)
+        for _ in range(120):
+            mutated = bytearray(base)
+            for _ in range(rng.randint(1, 6)):
+                mutated[rng.randrange(len(mutated))] = rng.randrange(256)
+            _try_parse(bytes(mutated))
+
+    def test_random_truncations(self, base):
+        for cut in range(0, len(base), 7):
+            _try_parse(base[:cut])
+
+    def test_segment_length_inflation(self, base):
+        """Inflated segment lengths must hit the bounds checks (the actual
+        uncmpjpg bug class)."""
+        for marker in (b"\xFF\xC4", b"\xFF\xDB", b"\xFF\xC0"):
+            idx = base.find(marker)
+            if idx == -1:
+                continue
+            mutated = bytearray(base)
+            mutated[idx + 2] = 0xFF
+            mutated[idx + 3] = 0xFF
+            _try_parse(bytes(mutated))
+
+    def test_dht_value_count_inflation(self, base):
+        """Claim many more Huffman values than the segment carries."""
+        idx = base.find(b"\xFF\xC4")
+        mutated = bytearray(base)
+        for offset in range(5, 21):  # the 16 BITS counts
+            mutated[idx + offset] = 0x40
+        result = _try_parse(bytes(mutated))
+        assert result is None  # must be rejected, not over-read
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.binary(min_size=0, max_size=512))
+def test_arbitrary_bytes_never_crash_parser(blob):
+    _try_parse(blob)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(min_size=0, max_size=256))
+def test_soi_prefixed_bytes_never_crash_parser(blob):
+    _try_parse(b"\xFF\xD8" + blob)

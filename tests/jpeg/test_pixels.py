@@ -1,0 +1,84 @@
+"""Pixel reconstruction: the writer/decoder fidelity loop."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.images import flat_image, synthetic_photo
+from repro.jpeg.errors import JpegError
+from repro.jpeg.parser import parse_jpeg
+from repro.jpeg.pixels import decode_pixels, psnr, ycbcr_to_rgb
+from repro.jpeg.scan_decode import decode_scan
+from repro.jpeg.writer import encode_baseline_jpeg, rgb_to_ycbcr
+
+
+def _decode(data):
+    img = parse_jpeg(data)
+    decode_scan(img)
+    return decode_pixels(img)
+
+
+class TestDecodePixels:
+    def test_flat_gray_recovered_exactly_enough(self):
+        pixels = flat_image(32, 32, value=100)
+        out = _decode(encode_baseline_jpeg(pixels, quality=95))
+        assert out.shape == (32, 32)
+        assert np.abs(out.astype(int) - 100).max() <= 2
+
+    def test_high_quality_photo_psnr(self):
+        pixels = synthetic_photo(64, 64, seed=1, noise=0.0)
+        out = _decode(encode_baseline_jpeg(pixels, quality=95))
+        assert out.shape == pixels.shape
+        assert psnr(pixels, out) > 32.0
+
+    def test_grayscale_shape(self):
+        pixels = synthetic_photo(40, 48, seed=2, grayscale=True)
+        out = _decode(encode_baseline_jpeg(pixels, quality=90))
+        assert out.shape == (40, 48)
+
+    def test_subsampled_chroma_still_decodes(self):
+        pixels = synthetic_photo(48, 48, seed=3, noise=0.0)
+        out = _decode(encode_baseline_jpeg(pixels, quality=92,
+                                           subsampling="4:2:0"))
+        assert psnr(pixels, out) > 26.0  # chroma loss is expected
+
+    def test_odd_dimensions_cropped(self):
+        pixels = synthetic_photo(37, 61, seed=4)
+        out = _decode(encode_baseline_jpeg(pixels, quality=90,
+                                           subsampling="4:2:0"))
+        assert out.shape == (37, 61, 3)
+
+    def test_quality_monotone_in_psnr(self):
+        pixels = synthetic_photo(48, 48, seed=5, noise=0.0)
+        low = psnr(pixels, _decode(encode_baseline_jpeg(pixels, quality=30)))
+        high = psnr(pixels, _decode(encode_baseline_jpeg(pixels, quality=92)))
+        assert high > low
+
+    def test_requires_scan_decode(self):
+        data = encode_baseline_jpeg(flat_image(8, 8))
+        img = parse_jpeg(data)
+        with pytest.raises(JpegError):
+            decode_pixels(img)
+
+
+class TestColourMatrices:
+    def test_rgb_ycbcr_inverse(self):
+        rng = np.random.default_rng(0)
+        rgb = rng.integers(0, 256, (5, 7, 3)).astype(np.float64)
+        ycc = rgb_to_ycbcr(rgb.astype(np.uint8))
+        back = ycbcr_to_rgb(ycc[..., 0], ycc[..., 1], ycc[..., 2])
+        assert np.allclose(back, rgb, atol=0.01)
+
+
+class TestPsnr:
+    def test_identical_images_infinite(self):
+        img = synthetic_photo(16, 16, seed=6)
+        assert psnr(img, img) == float("inf")
+
+    def test_known_mse(self):
+        a = np.zeros((4, 4), dtype=np.uint8)
+        b = np.full((4, 4), 255, dtype=np.uint8)
+        assert psnr(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((2, 2)), np.zeros((3, 3)))

@@ -1,0 +1,189 @@
+"""Progressive JPEG (SOF2): encode, parse, decode, and Lepton rejection."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.builder import corpus_jpeg
+from repro.corpus.images import synthetic_photo
+from repro.jpeg.errors import UnsupportedJpegError
+from repro.jpeg.parser import parse_jpeg
+from repro.jpeg.progressive import (
+    DEFAULT_AC_BANDS,
+    encode_progressive,
+    encode_progressive_jpeg,
+    parse_progressive,
+)
+from repro.jpeg.scan_decode import decode_scan
+
+
+def _baseline_image(seed=5, **kwargs):
+    data = corpus_jpeg(seed=seed, **kwargs)
+    img = parse_jpeg(data)
+    decode_scan(img)
+    return img
+
+
+class TestProgressiveRoundtrip:
+    @pytest.mark.parametrize("kwargs", [
+        dict(height=64, width=64),
+        dict(height=48, width=56, grayscale=True),
+        dict(height=37, width=61),
+    ], ids=["colour", "gray", "odd"])
+    def test_coefficients_survive(self, kwargs):
+        img = _baseline_image(**kwargs)
+        prog = encode_progressive(img.frame, img.quant_tables, img.coefficients)
+        parsed = parse_progressive(prog)
+        for got, want in zip(parsed.coefficients, img.coefficients):
+            assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("bands", [
+        ((1, 63),),
+        ((1, 5), (6, 63)),
+        ((1, 2), (3, 9), (10, 63)),
+    ])
+    def test_any_band_script(self, bands):
+        img = _baseline_image(height=64, width=64)
+        prog = encode_progressive(img.frame, img.quant_tables,
+                                  img.coefficients, ac_bands=bands)
+        parsed = parse_progressive(prog)
+        assert np.array_equal(parsed.coefficients[0], img.coefficients[0])
+
+    def test_bare_payload_with_external_frame(self):
+        img = _baseline_image(height=64, width=80)
+        prog = encode_progressive(img.frame, img.quant_tables,
+                                  img.coefficients, bare=True)
+        assert len(prog) < len(
+            encode_progressive(img.frame, img.quant_tables, img.coefficients)
+        )
+        parsed = parse_progressive(prog, frame=img.frame)
+        for got, want in zip(parsed.coefficients, img.coefficients):
+            assert np.array_equal(got, want)
+
+    def test_scan_count(self):
+        img = _baseline_image(height=64, width=64)
+        prog = encode_progressive(img.frame, img.quant_tables, img.coefficients)
+        parsed = parse_progressive(prog)
+        # 1 DC scan + one per (component, band).
+        expected = 1 + len(img.frame.components) * len(DEFAULT_AC_BANDS)
+        assert len(parsed.scans) == expected
+        assert parsed.scans[0].is_dc
+
+    def test_eobrun_heavy_image(self):
+        """A flat image is all EOB runs — the progressive win case."""
+        from repro.corpus.images import flat_image
+        from repro.jpeg.writer import encode_baseline_jpeg
+
+        data = encode_baseline_jpeg(flat_image(64, 64), quality=85)
+        img = parse_jpeg(data)
+        decode_scan(img)
+        prog = encode_progressive(img.frame, img.quant_tables, img.coefficients)
+        parsed = parse_progressive(prog)
+        assert np.array_equal(parsed.coefficients[0], img.coefficients[0])
+
+    def test_progressive_order_groups_values(self):
+        """On sparse high frequencies, the progressive (banded, EOBRUN)
+        stream beats the baseline scan bytes — the §2 claim behind
+        JPEGrescan and MozJPEG."""
+        img = _baseline_image(seed=61, height=96, width=96)
+        prog = encode_progressive(img.frame, img.quant_tables,
+                                  img.coefficients, bare=True)
+        # Compare entropy payloads: bare progressive vs the original scan.
+        assert len(prog) < len(img.scan_data) + len(img.header_bytes)
+
+
+class TestEobRunChunking:
+    def test_long_eob_runs_split_into_legal_chunks(self):
+        """EOBn carries at most run-category 14 (16384+extra blocks); a
+        large empty image forces multiple chunks."""
+        from repro.corpus.images import flat_image
+        from repro.jpeg.writer import encode_baseline_jpeg
+
+        data = encode_baseline_jpeg(flat_image(256, 256), quality=85)
+        img = parse_jpeg(data)
+        decode_scan(img)
+        prog = encode_progressive(img.frame, img.quant_tables,
+                                  img.coefficients, ac_bands=((1, 63),))
+        parsed = parse_progressive(prog)
+        assert np.array_equal(parsed.coefficients[0], img.coefficients[0])
+
+    def test_mixed_sparse_dense_blocks(self):
+        """Alternating dense and empty blocks stress EOB bookkeeping."""
+        img = _baseline_image(height=64, width=64)
+        coeffs = img.coefficients
+        luma = coeffs[0]
+        luma[::2, ::2, 1:] = 0  # empty out a checkerboard of blocks
+        prog = encode_progressive(img.frame, img.quant_tables, coeffs)
+        parsed = parse_progressive(prog)
+        assert np.array_equal(parsed.coefficients[0], luma)
+
+
+class TestPixelsToProgressive:
+    def test_direct_encode(self):
+        pixels = synthetic_photo(48, 64, seed=8)
+        data = encode_progressive_jpeg(pixels, quality=85)
+        parsed = parse_progressive(data)
+        assert parsed.frame.width == 64
+        assert parsed.frame.height == 48
+
+
+class TestProgressiveFuzz:
+    def test_header_byte_flips_fail_cleanly(self):
+        """Same robustness bar as the baseline parser (§6.7's lesson)."""
+        from repro.jpeg.errors import JpegError
+
+        pixels = synthetic_photo(24, 24, seed=20)
+        data = encode_progressive_jpeg(pixels, quality=85)
+        import random
+
+        rng = random.Random(2)
+        for _ in range(80):
+            mutated = bytearray(data)
+            mutated[rng.randrange(len(mutated))] ^= 0xFF
+            try:
+                parse_progressive(bytes(mutated))
+            except JpegError:
+                pass
+
+    def test_truncations_fail_cleanly(self):
+        from repro.jpeg.errors import JpegError
+
+        pixels = synthetic_photo(24, 24, seed=21)
+        data = encode_progressive_jpeg(pixels, quality=85)
+        for cut in range(0, len(data), 11):
+            try:
+                parse_progressive(data[:cut])
+            except JpegError:
+                pass
+
+
+class TestProductionRejection:
+    def test_real_progressive_rejected_by_baseline_parser(self):
+        """Production Lepton skips progressive files (§6.2) — including
+        genuine ones, not just marker-patched baselines."""
+        pixels = synthetic_photo(32, 32, seed=9)
+        data = encode_progressive_jpeg(pixels, quality=85)
+        with pytest.raises(UnsupportedJpegError) as exc:
+            parse_jpeg(data)
+        assert exc.value.reason == "progressive"
+
+    def test_lepton_classifies_real_progressive(self):
+        from repro.core.errors import ExitCode
+        from repro.core.lepton import compress, decompress
+
+        pixels = synthetic_photo(32, 32, seed=10)
+        data = encode_progressive_jpeg(pixels, quality=85)
+        result = compress(data)
+        assert result.exit_code is ExitCode.PROGRESSIVE
+        assert decompress(result.payload) == data  # Deflate fallback
+
+    def test_successive_approximation_rejected(self):
+        img = _baseline_image(height=32, width=32)
+        prog = bytearray(
+            encode_progressive(img.frame, img.quant_tables, img.coefficients)
+        )
+        # Patch the first SOS's Ah/Al byte to claim successive approximation.
+        idx = prog.find(bytes([0xFF, 0xDA]))
+        length = (prog[idx + 2] << 8) | prog[idx + 3]
+        prog[idx + 2 + length - 1] = 0x01  # Al = 1
+        with pytest.raises(UnsupportedJpegError):
+            parse_progressive(bytes(prog))

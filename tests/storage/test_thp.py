@@ -1,0 +1,42 @@
+"""The THP latency study (Figure 12)."""
+
+import pytest
+
+from repro.storage.fleet import FleetConfig
+from repro.storage.outsourcing import Strategy
+from repro.storage.thp import run_thp_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    config = FleetConfig(
+        n_blockservers=6, encode_base_per_second=2.0, burst_mean=2.0,
+        strategy=Strategy.CONTROL, seed=9,
+    )
+    return run_thp_study(hours_before=2, hours_after=2, stall_seconds=1.5,
+                         base_config=config)
+
+
+def test_hourly_rows_cover_both_windows(study):
+    hours = [h for h, _ in study.hourly]
+    assert hours == [0, 1, 2, 3]
+    assert study.disable_hour == 2
+
+
+def test_p99_improves_after_disabling(study):
+    """Figure 12: the visible step down at the flip."""
+    before = max(study.percentile_series(99)[:2])
+    after = max(study.percentile_series(99)[2:])
+    assert after < before
+
+
+def test_tail_hit_harder_than_median(study):
+    """§6.3: stalls amortise over 10 decodes, so p99/p50 is inflated while
+    THP is on and drops once it is off."""
+    assert study.tail_to_median_ratio(before=True) > study.tail_to_median_ratio(before=False)
+
+
+def test_median_mostly_unaffected(study):
+    before = study.percentile_series(50)[:2]
+    after = study.percentile_series(50)[2:]
+    assert max(before) < 3 * max(after)

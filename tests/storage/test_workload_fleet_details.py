@@ -1,0 +1,102 @@
+"""Secondary behaviours of the workload and fleet models."""
+
+import math
+
+import pytest
+
+from repro.storage.fleet import FleetConfig, FleetSim, run_strategy_comparison
+from repro.storage.outsourcing import Strategy
+from repro.storage.workload import (
+    RolloutModel,
+    decode_rate,
+    diurnal_multiplier,
+    encode_rate,
+    weekly_series,
+)
+
+
+class TestRateFunctions:
+    def test_encode_rate_scales_with_base(self):
+        assert encode_rate(0.0, 10.0) == pytest.approx(2 * encode_rate(0.0, 5.0))
+
+    def test_decode_rate_weekday_boost_applied(self):
+        monday_noon = 12 * 3600.0
+        assert decode_rate(monday_noon, 5.0, weekday_boost=2.0) == pytest.approx(
+            2.0 * encode_rate(monday_noon, 5.0)
+        )
+
+    def test_decode_rate_weekend_no_boost(self):
+        saturday_noon = 5 * 86400.0 + 12 * 3600.0
+        assert decode_rate(saturday_noon, 5.0) == pytest.approx(
+            encode_rate(saturday_noon, 5.0)
+        )
+
+    def test_diurnal_integral_close_to_one(self):
+        """The multiplier averages ~1 over a day (it reshapes, not scales)."""
+        mean = sum(diurnal_multiplier(h * 3600.0) for h in range(24)) / 24
+        assert mean == pytest.approx(1.0, abs=0.05)
+
+    def test_rates_never_negative(self):
+        for h in range(0, 24):
+            assert encode_rate(h * 3600.0, 5.0) > 0
+
+
+class TestWeeklySeriesDeterminism:
+    def test_same_seed_same_samples(self):
+        a = weekly_series(seed=4)
+        b = weekly_series(seed=4)
+        assert a.encodes == b.encodes
+        assert a.decodes == b.decodes
+
+    def test_different_seed_differs(self):
+        assert weekly_series(seed=4).encodes != weekly_series(seed=5).encodes
+
+
+class TestRolloutEdges:
+    def test_window_boundary_continuous(self):
+        model = RolloutModel(recent_window_days=30)
+        before = model.lepton_decode_fraction(29.999)
+        after = model.lepton_decode_fraction(30.001)
+        assert after == pytest.approx(before, abs=0.01)
+
+    def test_saturates_at_one(self):
+        model = RolloutModel(corpus_photos=100.0, uploads_per_day=100.0)
+        assert model.lepton_decode_fraction(10_000) == pytest.approx(1.0)
+
+
+class TestFleetKnobs:
+    def test_background_cores_slow_conversions(self):
+        def p50(background):
+            config = FleetConfig(duration_hours=0.2, seed=6,
+                                 background_cores=background,
+                                 burst_mean=4.0)
+            return FleetSim(config).run().latency_percentiles("lepton_encode")[50]
+
+        assert p50(10.0) > p50(0.0)
+
+    def test_decode_ratio_controls_decode_volume(self):
+        def decodes(ratio):
+            config = FleetConfig(duration_hours=0.2, seed=7,
+                                 decode_to_encode=ratio)
+            return len(FleetSim(config).run().latencies("lepton_decode"))
+
+        assert decodes(2.0) > decodes(0.2) * 2
+
+    def test_strategy_comparison_grid(self):
+        base = FleetConfig(duration_hours=0.1, n_blockservers=6,
+                           n_dedicated=2, seed=8)
+        results = run_strategy_comparison(
+            strategies=(Strategy.CONTROL, Strategy.TO_SELF),
+            thresholds=(3,),
+            base_config=base,
+        )
+        assert set(results) == {("control", 3), ("to_self", 3)}
+        assert all(m.jobs for m in results.values())
+
+    def test_file_sizes_respect_chunk_bound(self):
+        sim = FleetSim(FleetConfig(duration_hours=0.01, seed=9))
+        sizes = [sim._sample_size_bytes() for _ in range(500)]
+        assert max(sizes) <= 4 * 1024 * 1024  # the 4-MiB chunk cap
+        assert min(sizes) >= 50 * 1024
+        mean_mib = sum(sizes) / len(sizes) / (1024 * 1024)
+        assert 0.8 < mean_mib < 2.5  # around the §5.6.1 1.5-MiB average

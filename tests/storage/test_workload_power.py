@@ -1,0 +1,130 @@
+"""Workload shapes (Fig 5/13) and the power/cost model (Fig 11, §5.6.1)."""
+
+import pytest
+
+from repro.storage.power import (
+    BACKFILL_DYNAMIC_KW,
+    FLEET_POWER_KW,
+    PowerModel,
+    power_timeseries,
+)
+from repro.storage.workload import (
+    RolloutModel,
+    decode_rate,
+    diurnal_multiplier,
+    encode_rate,
+    is_weekend,
+    weekly_series,
+)
+
+
+class TestDiurnal:
+    def test_peak_in_the_evening(self):
+        assert diurnal_multiplier(17 * 3600.0) > diurnal_multiplier(5 * 3600.0)
+
+    def test_multiplier_positive(self):
+        assert all(diurnal_multiplier(h * 3600.0) > 0 for h in range(24))
+
+    def test_day_zero_is_monday(self):
+        assert not is_weekend(0.0)
+        assert is_weekend(5 * 86400.0)
+
+
+class TestWeeklyPattern:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return weekly_series(base_encode_per_second=5.0, seed=1)
+
+    def test_one_week_of_hours(self, series):
+        assert len(series.hours) == 168
+
+    def test_weekday_decode_ratio_higher(self, series):
+        """Figure 5: ratio ≈1.5 on weekdays, approaches 1.0 on weekends."""
+        ratios = series.daily_ratio()
+        weekday = sum(ratios[:5]) / 5
+        weekend = sum(ratios[5:]) / 2
+        assert weekday > weekend
+        assert weekday == pytest.approx(1.5, abs=0.15)
+        assert weekend == pytest.approx(1.0, abs=0.15)
+
+    def test_encodes_flat_across_week(self, series):
+        """Uploads are similar on weekdays and weekends."""
+        weekday = sum(series.encodes[:120]) / 5
+        weekend = sum(series.encodes[120:]) / 2
+        assert weekday == pytest.approx(weekend, rel=0.1)
+
+    def test_normalised_series_bottom_at_one(self, series):
+        enc, dec = series.normalised()
+        assert min(enc) == pytest.approx(1.0)
+        assert max(dec) > 2.0  # the paper's axis runs 1.0 → 4.5
+
+    def test_expectation_mode_deterministic(self):
+        a = weekly_series(sampled=False)
+        b = weekly_series(sampled=False)
+        assert a.encodes == b.encodes
+
+
+class TestRollout:
+    def test_ratio_starts_near_zero(self):
+        model = RolloutModel()
+        day0 = model.lepton_decode_fraction(0.5)
+        assert day0 < 0.05
+
+    def test_ratio_ramps_up(self):
+        """Figure 13: the decode:encode ratio climbs over months."""
+        model = RolloutModel()
+        series = model.ratio_series(days=90, seed=2)
+        first_month = sum(r for _, r in series[:14]) / 14
+        third_month = sum(r for _, r in series[-14:]) / 14
+        assert third_month > 2 * first_month
+
+    def test_ratio_eventually_exceeds_one(self):
+        model = RolloutModel()
+        series = model.ratio_series(days=120, seed=3)
+        assert max(r for _, r in series) > 1.0
+
+    def test_fraction_bounded(self):
+        model = RolloutModel()
+        for day in (0, 10, 100, 10_000):
+            assert 0.0 <= model.lepton_decode_fraction(day) <= 1.0
+
+
+class TestPowerModel:
+    def test_full_fleet_matches_paper_power(self):
+        model = PowerModel()
+        assert model.chassis_power_kw(1.0) == pytest.approx(FLEET_POWER_KW)
+
+    def test_outage_drop_matches_paper(self):
+        """Figure 11: backfill off drops power by 121 kW."""
+        model = PowerModel()
+        drop = model.chassis_power_kw(1.0) - model.chassis_power_kw(0.0)
+        assert drop == pytest.approx(BACKFILL_DYNAMIC_KW)
+
+    def test_conversions_per_kwh_near_72300(self):
+        assert PowerModel().conversions_per_kwh() == pytest.approx(72_300, rel=0.01)
+
+    def test_gib_saved_per_kwh_near_24(self):
+        assert PowerModel().gib_saved_per_kwh() == pytest.approx(24.0, rel=0.05)
+
+    def test_breakeven_price_near_58_cents(self):
+        """§5.6.1: worthwhile versus a depowered drive below $0.58/kWh."""
+        assert PowerModel().breakeven_kwh_price() == pytest.approx(0.58, abs=0.03)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel().chassis_power_kw(1.5)
+
+
+class TestPowerTimeseries:
+    def test_step_down_during_outage(self):
+        series = power_timeseries(hours=30, outage_start=9, outage_end=15, seed=1)
+        during = [p for t, p, _ in series if 10 <= t < 14]
+        outside = [p for t, p, _ in series if t < 8 or t > 16]
+        assert max(during) < min(outside)
+        drop = sum(outside) / len(outside) - sum(during) / len(during)
+        assert drop == pytest.approx(BACKFILL_DYNAMIC_KW, rel=0.05)
+
+    def test_conversions_stop_during_outage(self):
+        series = power_timeseries(hours=30, outage_start=9, outage_end=15, seed=1)
+        during = [r for t, _, r in series if 10 <= t < 14]
+        assert max(during) == 0.0

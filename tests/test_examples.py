@@ -1,0 +1,34 @@
+"""The examples are part of the public API surface — keep them running."""
+
+import pytest
+
+
+def _run_example(name):
+    import importlib.util
+    import pathlib
+
+    path = pathlib.Path(__file__).parent.parent / "examples" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "photo_storage_service",
+    "streaming_chunks",
+    "client_side_bandwidth",
+    "disaster_recovery",
+])
+def test_example_runs(name, capsys):
+    _run_example(name)
+    out = capsys.readouterr().out
+    assert out  # every example narrates what it did
+
+
+def test_backfill_fleet_example(capsys):
+    _run_example("backfill_fleet")
+    out = capsys.readouterr().out
+    assert "exit codes" in out
+    assert "conversions per kWh" in out
