@@ -7,6 +7,11 @@ categories at scaled-up rates (parts-per-thousand would be invisible on a
 small corpus); the reproduced shape is the *ordering*: success dominates,
 progressive is the largest reject class, and every reject is classified —
 never crashed on.
+
+The table is read from the worker's MetricsRegistry — the
+``backfill.exit_codes{code}`` counter family and ``backfill.bytes_*``
+counters of docs/observability.md — so the reproduced §6.2 table is the
+telemetry, not a parallel tally.
 """
 
 from _harness import SCALE, emit
@@ -14,6 +19,7 @@ from repro.analysis.tables import format_table
 from repro.core.errors import ExitCode
 from repro.core.lepton import LeptonConfig
 from repro.corpus.builder import build_corpus
+from repro.obs import MetricsRegistry
 from repro.storage.backfill import BackfillWorker, Metaserver, UserFile
 
 
@@ -37,17 +43,15 @@ def test_exit_code_distribution(benchmark):
 
     def run():
         meta = Metaserver(users, n_shards=1, chunk_size=1 << 22)
-        worker = BackfillWorker(meta, lambda k, v: None, LeptonConfig(threads=1))
+        worker = BackfillWorker(meta, lambda k, v: None, LeptonConfig(threads=1),
+                                registry=MetricsRegistry())
         worker.process_shard(0)
-        return worker.stats
+        return worker
 
-    stats = benchmark.pedantic(run, rounds=1, iterations=1)
-    total = stats.chunks_processed
-    rows = [
-        [code.value, count, 100.0 * count / total]
-        for code, count in sorted(stats.exit_codes.items(),
-                                  key=lambda kv: -kv[1])
-    ]
+    worker = benchmark.pedantic(run, rounds=1, iterations=1)
+    registry = worker.registry
+    rows = [list(row) for row in worker.exit_sink.table()]
+    total = int(registry.counter("backfill.chunks_processed").value)
     emit("exit_codes", format_table(
         ["exit code", "count", "share (%)"],
         rows,
@@ -56,7 +60,8 @@ def test_exit_code_distribution(benchmark):
               "Not-an-image 0.80%, CMYK 0.48%, ...)",
         float_format="{:.1f}",
     ))
-    codes = stats.exit_codes
+    codes = worker.exit_sink.counts()
+    assert sum(codes.values()) == total
     # Success dominates.
     assert codes[ExitCode.SUCCESS] > total * 0.5
     # Progressive is the largest reject class, as in the paper.
@@ -64,6 +69,8 @@ def test_exit_code_distribution(benchmark):
     assert max(rejects, key=rejects.get) is ExitCode.PROGRESSIVE
     # Every rejected category was classified, none crashed the worker.
     assert {ExitCode.CMYK, ExitCode.NOT_AN_IMAGE} <= set(codes)
-    assert stats.verification_failures == 0
+    assert registry.counter("backfill.verification_failures").value == 0
     # Compression achieved real savings on the files that succeeded.
-    assert stats.savings_fraction > 0.03
+    bytes_in = registry.counter("backfill.bytes_in").value
+    bytes_out = registry.counter("backfill.bytes_out").value
+    assert 1.0 - bytes_out / bytes_in > 0.03

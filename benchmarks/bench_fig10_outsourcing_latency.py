@@ -4,6 +4,11 @@ Paper: at peak, outsourcing halves the p99 (1.63 s → 1.08 s) and cuts the
 p95 by ~25%; To-dedicated helps the p99 most, while To-self also reduces
 the p50 by removing hotspots.  §5.5 also reports the 7.9% TCP-vs-unix-
 socket overhead, asserted here directly from the model constant.
+
+Percentiles come from each simulation's MetricsRegistry — the
+``fleet.conversion.latency_seconds{kind}`` streaming histograms and the
+``fleet.jobs.*`` counters of docs/observability.md — not from private
+simulator state.
 """
 
 from _harness import SCALE, emit
@@ -29,10 +34,20 @@ def test_fig10_outsourcing_latency(benchmark):
     rows = []
     p = {}
     for (strategy, threshold), m in metrics.items():
-        pct = m.latency_percentiles("lepton_encode")
+        hist = m.registry.get("fleet.conversion.latency_seconds",
+                              kind="lepton_encode")
+        pct = {q: hist.quantile(q / 100.0) for q in (50, 75, 95, 99)}
+        completed = sum(
+            counter.value
+            for _, counter in m.registry.series("fleet.jobs.completed")
+        )
+        outsourced = sum(
+            counter.value
+            for _, counter in m.registry.series("fleet.jobs.outsourced")
+        )
         p[(strategy, threshold)] = pct
         rows.append([strategy.value, threshold, pct[50], pct[75], pct[95],
-                     pct[99], m.outsourced_fraction()])
+                     pct[99], outsourced / completed])
     emit("fig10_latency", format_table(
         ["strategy", "threshold", "p50(s)", "p75(s)", "p95(s)", "p99(s)",
          "outsourced"],

@@ -3,6 +3,11 @@
 Paper (Sept 15, threshold 4): the Control fleet routinely sees 11–25
 simultaneous conversions on individual blockservers at peak; outsourcing
 caps the pile-ups — To-dedicated the hardest, To-self in between.
+
+The series is read from each simulation's MetricsRegistry (the
+``fleet.concurrency{hour}`` histograms of docs/observability.md), not from
+private simulator state, so this figure and the fleet telemetry cannot
+drift apart.
 """
 
 from _harness import SCALE, emit
@@ -27,11 +32,15 @@ def test_fig9_concurrent_processes(benchmark):
     rows = []
     peaks = {}
     for strategy, m in metrics.items():
-        hourly = m.hourly_concurrency_p99()
+        # Straight off the registry: one concurrency histogram per hour.
+        hourly = sorted(
+            (int(labels["hour"]), float(hist.quantile(0.99)))
+            for labels, hist in m.registry.series("fleet.concurrency")
+        )
         peak = max(v for _, v in hourly)
         peaks[strategy] = peak
         for hour, value in hourly:
-            rows.append([strategy.value, int(hour), value])
+            rows.append([strategy.value, hour, value])
     emit("fig9_concurrency", format_table(
         ["strategy", "hour", "p99 concurrent lepton processes"],
         rows,

@@ -1,17 +1,55 @@
 """``lepton`` command-line tool: compress/decompress/verify JPEG files.
 
 Mirrors the stand-alone binary of the paper: reads a file (or stdin),
-writes the converted output, and reports the §6.2 exit code.
+writes the converted output, and reports the §6.2 exit code.  ``--stats``
+dumps the process-wide metrics registry afterwards, ``--trace`` writes the
+span trace as JSON lines, and ``lepton stats FILE`` runs a full
+compress+decompress cycle purely to print its telemetry (see
+docs/observability.md for the contract).
 """
 
 import argparse
 import sys
+from typing import Dict
 
 from repro.core.errors import ExitCode
-from repro.core.lepton import LeptonConfig, compress, decompress, roundtrip_check
+from repro.core.lepton import (
+    FORMAT_LEPTON,
+    LeptonConfig,
+    compress,
+    decompress,
+    decompress_result,
+    roundtrip_check,
+)
+from repro.obs import get_registry, get_tracer
 
-#: Numeric process exit codes per §6.2 category (0 = success).
-EXIT_STATUS = {code: index for index, code in enumerate(ExitCode)}
+#: Pinned numeric process exit codes per §6.2 category (0 = success).
+#: Deliberately explicit rather than derived from enum iteration order:
+#: scripts and monitoring match on these numbers, so adding an ExitCode
+#: member must never silently renumber the existing ones
+#: (tests/core/test_cli.py freezes this table).
+EXIT_STATUS: Dict[ExitCode, int] = {
+    ExitCode.SUCCESS: 0,
+    ExitCode.PROGRESSIVE: 1,
+    ExitCode.UNSUPPORTED_JPEG: 2,
+    ExitCode.NOT_AN_IMAGE: 3,
+    ExitCode.CMYK: 4,
+    ExitCode.DECODE_MEMORY_EXCEEDED: 5,
+    ExitCode.ENCODE_MEMORY_EXCEEDED: 6,
+    ExitCode.SERVER_SHUTDOWN: 7,
+    ExitCode.IMPOSSIBLE: 8,
+    ExitCode.ABORT_SIGNAL: 9,
+    ExitCode.TIMEOUT: 10,
+    ExitCode.CHROMA_SUBSAMPLE_BIG: 11,
+    ExitCode.AC_OUT_OF_RANGE: 12,
+    ExitCode.ROUNDTRIP_FAILED: 13,
+    ExitCode.OOM_KILL: 14,
+    ExitCode.OPERATOR_INTERRUPT: 15,
+}
+
+if set(EXIT_STATUS) != set(ExitCode):  # pragma: no cover - import-time guard
+    _missing = {code.name for code in ExitCode} - {code.name for code in EXIT_STATUS}
+    raise RuntimeError(f"EXIT_STATUS must pin every ExitCode; missing: {_missing}")
 
 
 def _read(path: str) -> bytes:
@@ -56,36 +94,23 @@ def _qualify(directory: str, config: LeptonConfig, quiet: bool) -> int:
     return 0 if report.qualified else 1
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="lepton",
-        description="Losslessly recompress baseline JPEG files (NSDI 2017 reproduction).",
-    )
-    parser.add_argument("command",
-                        choices=["compress", "decompress", "verify", "qualify"])
-    parser.add_argument("input",
-                        help="input path (- for stdin); for qualify: a directory")
-    parser.add_argument("output", nargs="?", default=None,
-                        help="output path, or - for stdout")
-    parser.add_argument("--threads", type=int, default=None,
-                        help="thread-segment count (default: size-based)")
-    parser.add_argument("--no-fallback", action="store_true",
-                        help="fail instead of storing Deflate for rejects")
-    parser.add_argument("--allow-cmyk", action="store_true",
-                        help="enable the 4-component path production disables")
-    parser.add_argument("--quiet", action="store_true")
-    args = parser.parse_args(argv)
+def _stats_command(data: bytes, config: LeptonConfig) -> int:
+    """Compress (and, on success, decompress) purely for the telemetry."""
+    result = compress(data, config)
+    if result.format == FORMAT_LEPTON:
+        decompress_result(result.payload)
+    print(get_registry().render())
+    return EXIT_STATUS[result.exit_code]
 
-    config = LeptonConfig(
-        threads=args.threads,
-        deflate_fallback=not args.no_fallback,
-        allow_cmyk=args.allow_cmyk,
-    )
 
+def _dispatch(args, config: LeptonConfig) -> int:
     if args.command == "qualify":
         return _qualify(args.input, config, args.quiet)
 
     data = _read(args.input)
+
+    if args.command == "stats":
+        return _stats_command(data, config)
 
     if args.command == "compress":
         result = compress(data, config)
@@ -118,6 +143,49 @@ def main(argv=None) -> int:
     if not args.quiet:
         print(f"verify: {status}", file=sys.stderr)
     return EXIT_STATUS[result.exit_code]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lepton",
+        description="Losslessly recompress baseline JPEG files (NSDI 2017 reproduction).",
+    )
+    parser.add_argument("command",
+                        choices=["compress", "decompress", "verify", "qualify",
+                                 "stats"])
+    parser.add_argument("input",
+                        help="input path (- for stdin); for qualify: a directory")
+    parser.add_argument("output", nargs="?", default=None,
+                        help="output path, or - for stdout")
+    parser.add_argument("--threads", type=int, default=None,
+                        help="thread-segment count (default: size-based)")
+    parser.add_argument("--no-fallback", action="store_true",
+                        help="fail instead of storing Deflate for rejects")
+    parser.add_argument("--allow-cmyk", action="store_true",
+                        help="enable the 4-component path production disables")
+    parser.add_argument("--stats", action="store_true", dest="show_stats",
+                        help="print the metrics registry to stderr afterwards")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write the span trace (JSON lines) to PATH")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    config = LeptonConfig(
+        threads=args.threads,
+        deflate_fallback=not args.no_fallback,
+        allow_cmyk=args.allow_cmyk,
+    )
+
+    status = _dispatch(args, config)
+    if args.show_stats and args.command != "stats":
+        print(get_registry().render(), file=sys.stderr)
+    if args.trace:
+        try:
+            get_tracer().export_jsonl(args.trace)
+        except OSError as exc:
+            print(f"lepton: cannot write trace: {exc}", file=sys.stderr)
+            return status or 1
+    return status
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ from repro.core.segments import choose_thread_count, plan_segments
 from repro.jpeg.parser import JpegImage, parse_jpeg
 from repro.jpeg.scan_decode import decode_scan
 from repro.jpeg.scan_encode import encode_scan
+from repro.obs import trace_span
 
 
 class RoundtripMismatch(LeptonError):
@@ -109,9 +110,12 @@ def encode_jpeg(
     """
     start_time = time.monotonic()
     model_config = model_config or ModelConfig()
-    img = parse_jpeg(data, max_components=4 if allow_cmyk else 3)
-    decode_scan(img)
-    positions = verify_and_index(img)
+    with trace_span("lepton.encode.parse"):
+        img = parse_jpeg(data, max_components=4 if allow_cmyk else 3)
+    with trace_span("lepton.encode.scan_decode"):
+        decode_scan(img)
+    with trace_span("lepton.encode.verify_index"):
+        positions = verify_and_index(img)
 
     thread_count = threads if threads is not None else choose_thread_count(len(data))
     frame = img.frame
@@ -136,13 +140,16 @@ def encode_jpeg(
     segments: List[SegmentRecord] = []
     bit_costs: Dict[str, float] = {}
     model_bins = 0
-    for mcu_start, mcu_end in seg_ranges:
+    for segment_index, (mcu_start, mcu_end) in enumerate(seg_ranges):
         if deadline is not None and time.monotonic() > deadline:
             raise TimeoutExceeded("encode exceeded its deadline")
-        codec = SegmentCodec(frame, img.quant_tables, img.coefficients, model_config)
-        encoder = BoolEncoder()
-        codec.encode(encoder, mcu_start, mcu_end)
-        coded = encoder.finish()
+        # Model construction and boolean coding are one interleaved stage:
+        # every coded bit consults the adaptive bins it just updated.
+        with trace_span("lepton.encode.code_segment", segment=segment_index):
+            codec = SegmentCodec(frame, img.quant_tables, img.coefficients, model_config)
+            encoder = BoolEncoder()
+            codec.encode(encoder, mcu_start, mcu_end)
+            coded = encoder.finish()
         handover = HandoverWord.from_position(positions[mcu_start])
         segments.append(SegmentRecord(mcu_start, mcu_end, handover, coded))
         stats.segment_sizes.append(len(coded))
@@ -163,7 +170,8 @@ def encode_jpeg(
         pad_final=True,
         segments=segments,
     )
-    payload = write_container(lepton, interleave_slice=interleave_slice)
+    with trace_span("lepton.encode.container"):
+        payload = write_container(lepton, interleave_slice=interleave_slice)
     stats.output_size = len(payload)
     stats.bit_costs = bit_costs
     stats.model_bins = model_bins

@@ -25,6 +25,7 @@ from repro.core.errors import (
 )
 from repro.core.model import ModelConfig
 from repro.jpeg.errors import JpegError, UnsupportedJpegError
+from repro.obs import ExitCodeSink, get_registry, trace_span
 
 #: Production memory budgets (§4.2 / §6.2).
 DECODE_MEMORY_LIMIT = 24 * 1024 * 1024
@@ -124,6 +125,10 @@ def _classify_jpeg_error(data: bytes, exc: JpegError) -> ExitCode:
     return ExitCode.UNSUPPORTED_JPEG
 
 
+#: Tabulates every conversion's §6.2 exit code (see docs/observability.md).
+_EXIT_SINK = ExitCodeSink(metric="lepton.compress.exit_codes")
+
+
 def compress(data: bytes, config: Optional[LeptonConfig] = None) -> CompressionResult:
     """Compress ``data``; always returns a result, never raises.
 
@@ -132,6 +137,24 @@ def compress(data: bytes, config: Optional[LeptonConfig] = None) -> CompressionR
     with its §6.2 exit code and — when ``deflate_fallback`` is on, as in
     production — stored as Deflate instead.
     """
+    registry = get_registry()
+    registry.counter("lepton.compress.attempts").inc()
+    start = time.monotonic()
+    with trace_span("lepton.compress", input_bytes=len(data)):
+        result = _compress_inner(data, config)
+    registry.histogram("lepton.compress.seconds").observe(
+        time.monotonic() - start
+    )
+    _EXIT_SINK.record(result.exit_code)
+    registry.counter("lepton.compress.input_bytes").inc(len(data))
+    if result.payload is not None:
+        registry.counter("lepton.compress.output_bytes").inc(len(result.payload))
+    if result.format == FORMAT_DEFLATE:
+        registry.counter("lepton.compress.fallbacks").inc()
+    return result
+
+
+def _compress_inner(data: bytes, config: Optional[LeptonConfig]) -> CompressionResult:
     config = config or LeptonConfig()
     deadline = (
         time.monotonic() + config.timeout_seconds
@@ -190,13 +213,18 @@ def decompress_result(payload: bytes, parallel: bool = True,
                       model_config: Optional[ModelConfig] = None) -> DecompressionResult:
     """Like :func:`decompress` but with timing and format metadata."""
     start = time.monotonic()
-    if payload[:2] == lformat.MAGIC:
-        data = decode_lepton(payload, model_config=model_config, parallel=parallel)
-        fmt = FORMAT_LEPTON
-    else:
-        data = zlib.decompress(payload)
-        fmt = FORMAT_DEFLATE
-    return DecompressionResult(data, fmt, time.monotonic() - start)
+    with trace_span("lepton.decompress", payload_bytes=len(payload)):
+        if payload[:2] == lformat.MAGIC:
+            data = decode_lepton(payload, model_config=model_config, parallel=parallel)
+            fmt = FORMAT_LEPTON
+        else:
+            data = zlib.decompress(payload)
+            fmt = FORMAT_DEFLATE
+    seconds = time.monotonic() - start
+    registry = get_registry()
+    registry.counter("lepton.decompress.count", format=fmt).inc()
+    registry.histogram("lepton.decompress.seconds").observe(seconds)
+    return DecompressionResult(data, fmt, seconds)
 
 
 def decompress_stream(payload: bytes, parallel: bool = True,
@@ -238,6 +266,7 @@ def roundtrip_check(data: bytes, config: Optional[LeptonConfig] = None) -> Compr
         except (LeptonError, FormatError):
             recovered = None
         if recovered != data:
+            get_registry().counter("lepton.verify.roundtrip_failures").inc()
             fallback = zlib.compress(data, 6)
             return CompressionResult(
                 ExitCode.ROUNDTRIP_FAILED,

@@ -1,0 +1,44 @@
+"""repro.obs — the unified observability layer.
+
+One process-wide :class:`MetricsRegistry` (counters, gauges, streaming
+histograms with p50/p90/p99), span-based tracing with a JSON-lines
+exporter, and the §6.2 exit-code sink that feeds the anomaly shutoff.
+
+The full telemetry contract — every metric name, type, unit, label set,
+and the paper figure it backs — lives in ``docs/observability.md`` and is
+enforced by ``tests/test_docs.py``.
+
+Quick use::
+
+    from repro.obs import get_registry, trace_span
+
+    with trace_span("myapp.step", file_id="abc"):
+        ...
+    get_registry().counter("myapp.requests").inc()
+    print(get_registry().render())
+"""
+
+from repro.obs.exitcodes import ExitCodeSink
+from repro.obs.histogram import StreamingHistogram
+from repro.obs.registry import Counter, Gauge, MetricsRegistry, get_registry
+from repro.obs.tracing import SpanRecord, Tracer, get_tracer, trace_span
+
+__all__ = [
+    "Counter",
+    "ExitCodeSink",
+    "Gauge",
+    "MetricsRegistry",
+    "SpanRecord",
+    "StreamingHistogram",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "reset",
+    "trace_span",
+]
+
+
+def reset() -> None:
+    """Clear the global registry and tracer (test isolation)."""
+    get_registry().reset()
+    get_tracer().clear()

@@ -1,0 +1,94 @@
+"""Exit-code telemetry: the §6.2 table as a counter family.
+
+Every conversion ends in exactly one :class:`~repro.core.errors.ExitCode`;
+this sink tabulates them the way the deployment machinery consumes them —
+counts and shares for the §6.2 table (``bench_exit_codes``), and a
+success-rate view for the anomaly shutoff: when the observed failure rate
+of recent conversions exceeds its threshold, :meth:`ExitCodeSink.guard`
+engages the :class:`~repro.storage.safety.ShutoffSwitch` (the <30-second
+/dev/shm kill file of §5.7) instead of waiting for a human page.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import ExitCode
+
+#: Reverse lookup: §6.2 label string -> enum member.
+_CODE_BY_VALUE = {code.value: code for code in ExitCode}
+
+#: Default anomaly trigger: production success sits near 94% (§6.2); a
+#: sustained drop below half is unambiguous breakage, not corpus mix.
+DEFAULT_MIN_SUCCESS_RATE = 0.5
+DEFAULT_MIN_SAMPLES = 20
+
+
+class ExitCodeSink:
+    """Tabulates exit codes into ``<metric>{code=...}`` counters."""
+
+    def __init__(self, registry=None, metric: str = "lepton.compress.exit_codes"):
+        if registry is None:
+            from repro.obs.registry import get_registry
+
+            registry = get_registry()
+        self.registry = registry
+        self.metric = metric
+
+    def record(self, code: ExitCode) -> None:
+        self.registry.counter(self.metric, code=code.value).inc()
+
+    # -- views -----------------------------------------------------------
+
+    def counts(self) -> Dict[ExitCode, int]:
+        out: Dict[ExitCode, int] = {}
+        for labels, counter in self.registry.series(self.metric):
+            code = _CODE_BY_VALUE[labels["code"]]
+            out[code] = out.get(code, 0) + int(counter.value)
+        return out
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts().values())
+
+    def success_rate(self) -> float:
+        counts = self.counts()
+        total = sum(counts.values())
+        if total == 0:
+            return 1.0
+        return counts.get(ExitCode.SUCCESS, 0) / total
+
+    def shares(self) -> Dict[ExitCode, float]:
+        counts = self.counts()
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {code: n / total for code, n in counts.items()}
+
+    def table(self) -> List[Tuple[str, int, float]]:
+        """(label, count, share%) rows sorted by count descending — the
+        exact shape of the paper's §6.2 table."""
+        counts = self.counts()
+        total = sum(counts.values()) or 1
+        return [
+            (code.value, n, 100.0 * n / total)
+            for code, n in sorted(counts.items(), key=lambda kv: -kv[1])
+        ]
+
+    # -- anomaly shutoff --------------------------------------------------
+
+    def anomalous(self, min_success_rate: float = DEFAULT_MIN_SUCCESS_RATE,
+                  min_samples: int = DEFAULT_MIN_SAMPLES) -> bool:
+        """True when enough conversions have run and too few succeed."""
+        return (self.total >= min_samples
+                and self.success_rate() < min_success_rate)
+
+    def guard(self, switch, min_success_rate: float = DEFAULT_MIN_SUCCESS_RATE,
+              min_samples: int = DEFAULT_MIN_SAMPLES) -> bool:
+        """Engage ``switch`` (a ShutoffSwitch) if the rates are anomalous.
+
+        Returns whether the switch was engaged by this call.  Idempotent:
+        an already-engaged switch stays engaged and this returns False.
+        """
+        if switch.engaged or not self.anomalous(min_success_rate, min_samples):
+            return False
+        switch.engage()
+        return True

@@ -19,6 +19,7 @@ import hashlib
 
 from repro.core.errors import ExitCode
 from repro.core.lepton import LeptonConfig, compress, decompress
+from repro.obs import ExitCodeSink, MetricsRegistry, get_registry, trace_span
 from repro.storage.chunking import CHUNK_SIZE, split_chunks
 from repro.storage.simclock import SimClock
 
@@ -135,11 +136,16 @@ class BackfillWorker:
 
     def __init__(self, metaserver: Metaserver,
                  upload: Callable[[str, bytes], None],
-                 config: Optional[LeptonConfig] = None):
+                 config: Optional[LeptonConfig] = None,
+                 registry: Optional[MetricsRegistry] = None):
         self.metaserver = metaserver
         self.upload = upload
         self.config = config or LeptonConfig()
         self.stats = BackfillStats()
+        self.registry = registry if registry is not None else get_registry()
+        #: §6.2 tabulation over this worker's chunks; bench_exit_codes
+        #: reads the table from here rather than from private state.
+        self.exit_sink = ExitCodeSink(self.registry, metric="backfill.exit_codes")
 
     def process_shard(self, shard: int) -> None:
         resume = None
@@ -155,18 +161,24 @@ class BackfillWorker:
         chunk = self.metaserver.chunk_data(sha)
         self.stats.chunks_processed += 1
         self.stats.bytes_in += len(chunk)
-        result = compress(chunk, self.config)
-        self.stats.record(result.exit_code)
-        if result.ok:
-            verified = all(
-                decompress(result.payload, parallel=parallel) == chunk
-                for parallel in (True, False, False)
-            )
-            if not verified:
-                self.stats.verification_failures += 1
-                return
-        self.stats.bytes_out += result.output_size
-        self.upload(sha, result.payload)
+        self.registry.counter("backfill.chunks_processed").inc()
+        self.registry.counter("backfill.bytes_in").inc(len(chunk))
+        with trace_span("backfill.process_chunk", sha=sha[:12]):
+            result = compress(chunk, self.config)
+            self.stats.record(result.exit_code)
+            self.exit_sink.record(result.exit_code)
+            if result.ok:
+                verified = all(
+                    decompress(result.payload, parallel=parallel) == chunk
+                    for parallel in (True, False, False)
+                )
+                if not verified:
+                    self.stats.verification_failures += 1
+                    self.registry.counter("backfill.verification_failures").inc()
+                    return
+            self.stats.bytes_out += result.output_size
+            self.registry.counter("backfill.bytes_out").inc(result.output_size)
+            self.upload(sha, result.payload)
 
 
 @dataclass

@@ -18,6 +18,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from repro.obs import MetricsRegistry, get_registry
 from repro.storage.simclock import SimClock
 
 CORES_PER_SERVER = 16
@@ -63,9 +64,13 @@ class BlockServer:
                  thp_enabled: bool = False,
                  thp_stall_seconds: float = 1.2,
                  thp_credit: int = 10,
-                 building: int = 0):
+                 building: int = 0,
+                 registry: Optional[MetricsRegistry] = None):
         self.clock = clock
         self.server_id = server_id
+        #: Telemetry sink; FleetSim injects a per-simulation registry so
+        #: repeated runs never mix (see docs/observability.md).
+        self.registry = registry if registry is not None else get_registry()
         self.cores = cores
         #: Datacenter building (§5.5 footnote 5: conversions outsourced
         #: across buildings cost 50%–2x more; placement stays in-building).
@@ -131,6 +136,10 @@ class BlockServer:
         del self._remaining[job_id]
         self.completed += 1
         job.finish_time = self.clock.now
+        self.registry.counter(
+            "blockserver.jobs.completed", server=self.server_id
+        ).inc()
+        self._update_gauges()
         self._reschedule()
         if job.on_complete:
             job.on_complete(job)
@@ -153,7 +162,17 @@ class BlockServer:
                 self._thp_credit -= 1
         self.jobs[job.job_id] = job
         self._remaining[job.job_id] = work
+        self._update_gauges()
         self._reschedule()
+
+    def _update_gauges(self) -> None:
+        """Per-server occupancy gauges (the §5.5 outsourcing signals)."""
+        self.registry.gauge(
+            "blockserver.queue_depth", server=self.server_id
+        ).set(len(self.jobs))
+        self.registry.gauge(
+            "blockserver.lepton_processes", server=self.server_id
+        ).set(self.lepton_count)
 
     @property
     def lepton_count(self) -> int:

@@ -11,7 +11,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.core.chunks import StoredChunk, compress_chunked, decompress_chunk
-from repro.core.errors import ExitCode
 from repro.core.lepton import FORMAT_LEPTON, LeptonConfig
 from repro.storage.chunking import CHUNK_SIZE
 
@@ -50,7 +49,8 @@ class BlockStore:
     rejected_roundtrips: int = 0
     lepton_bytes_in: int = 0
     lepton_bytes_out: int = 0
-    exit_codes: Dict[ExitCode, int] = field(default_factory=dict)
+    # Per-conversion exit codes are tabulated by the compress() layer into
+    # the global registry (lepton.compress.exit_codes — docs/observability.md).
 
     def put_file(self, name: str, data: bytes) -> FileRecord:
         """Chunk, compress, verify, and admit a file."""

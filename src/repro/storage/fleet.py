@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.segments import choose_thread_count
+from repro.obs import MetricsRegistry, StreamingHistogram
 from repro.storage.blockserver import (
     BlockServer,
     Job,
@@ -64,11 +65,20 @@ class FleetConfig:
 
 @dataclass
 class FleetMetrics:
-    """Everything the Figure 9/10/12/14 benches need."""
+    """Everything the Figure 9/10/12/14 benches need.
+
+    The canonical telemetry lives in :attr:`registry` (one
+    :class:`~repro.obs.MetricsRegistry` per simulation; metric names in
+    docs/observability.md) — the Figure 9/10 benches read it directly, so
+    the figures and the telemetry cannot drift apart.  The raw ``jobs``
+    event log is kept alongside for time-windowed queries (Figures 12/14
+    slice by arrival time at sub-hour granularity).
+    """
 
     jobs: List[Job] = field(default_factory=list)
     # (time, per-server concurrent Lepton process counts)
     concurrency_samples: List[Tuple[float, List[int]]] = field(default_factory=list)
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def latencies(self, kind: Optional[str] = None,
                   t_lo: float = 0.0, t_hi: float = math.inf) -> List[float]:
@@ -78,9 +88,23 @@ class FleetMetrics:
             if (kind is None or j.kind == kind) and t_lo <= j.arrival < t_hi
         ]
 
+    def _latency_histogram(self, kind: Optional[str]) -> StreamingHistogram:
+        """Registry latency sketch for ``kind`` (all kinds merged if None)."""
+        merged = StreamingHistogram()
+        for labels, hist in self.registry.series("fleet.conversion.latency_seconds"):
+            if kind is None or labels.get("kind") == kind:
+                merged.merge(hist)
+        return merged
+
     def latency_percentiles(self, kind: Optional[str] = None,
                             t_lo: float = 0.0, t_hi: float = math.inf,
                             qs=(50, 75, 95, 99)) -> Dict[int, float]:
+        if t_lo == 0.0 and t_hi == math.inf:
+            hist = self._latency_histogram(kind)
+            if hist.count == 0:
+                return {q: 0.0 for q in qs}
+            return {q: float(hist.quantile(q / 100.0)) for q in qs}
+        # Arbitrary time windows need the raw event log.
         values = self.latencies(kind, t_lo, t_hi)
         if not values:
             return {q: 0.0 for q in qs}
@@ -89,20 +113,25 @@ class FleetMetrics:
 
     def hourly_concurrency_p99(self) -> List[Tuple[float, float]]:
         """Per-hour p99 of concurrent Lepton processes across the fleet
-        (Figure 9's y-axis)."""
-        buckets: Dict[int, List[int]] = {}
-        for t, counts in self.concurrency_samples:
-            buckets.setdefault(int(t // 3600), []).extend(counts)
-        return [
-            (hour, float(np.percentile(np.array(counts), 99)))
-            for hour, counts in sorted(buckets.items())
-        ]
+        (Figure 9's y-axis), read from the registry's hourly sketches."""
+        return sorted(
+            (float(labels["hour"]), float(hist.quantile(0.99)))
+            for labels, hist in self.registry.series("fleet.concurrency")
+        )
 
     def outsourced_fraction(self) -> float:
-        lepton = [j for j in self.jobs if j.is_lepton]
-        if not lepton:
+        completed = sum(
+            counter.value
+            for labels, counter in self.registry.series("fleet.jobs.completed")
+            if labels["kind"].startswith("lepton")
+        )
+        if completed == 0:
             return 0.0
-        return sum(1 for j in lepton if j.outsourced) / len(lepton)
+        outsourced = sum(
+            counter.value
+            for _, counter in self.registry.series("fleet.jobs.outsourced")
+        )
+        return outsourced / completed
 
 
 class FleetSim:
@@ -112,11 +141,15 @@ class FleetSim:
         self.config = config
         self.clock = SimClock()
         self.rng = np.random.default_rng(config.seed)
+        # One registry per simulation: repeated runs (the Figure 10 grid)
+        # must never mix telemetry.
+        self.registry = MetricsRegistry()
         lepton_cores = max(2, int(round(16 - config.background_cores)))
         self.blockservers = [
             BlockServer(self.clock, i, cores=lepton_cores,
                         thp_enabled=config.thp_enabled,
-                        building=i % max(config.n_buildings, 1))
+                        building=i % max(config.n_buildings, 1),
+                        registry=self.registry)
             for i in range(config.n_blockservers)
         ]
         # The dedicated cluster runs nothing but Lepton: all 16 cores, and it
@@ -124,11 +157,12 @@ class FleetSim:
         # processes" (§5.5).
         self.dedicated = [
             BlockServer(self.clock, 10_000 + i, cores=16,
-                        building=i % max(config.n_buildings, 1))
+                        building=i % max(config.n_buildings, 1),
+                        registry=self.registry)
             for i in range(config.n_dedicated)
         ]
         self.policy = OutsourcingPolicy(config.strategy, config.threshold)
-        self.metrics = FleetMetrics()
+        self.metrics = FleetMetrics(registry=self.registry)
 
     # -- request handling -------------------------------------------------
 
@@ -142,12 +176,23 @@ class FleetSim:
         for _ in range(burst):
             self._submit_lepton(kind)
 
+    def _record_job(self, job: Job) -> None:
+        """Completion hook: the event log plus the registry telemetry."""
+        self.metrics.jobs.append(job)
+        self.registry.histogram(
+            "fleet.conversion.latency_seconds", kind=job.kind
+        ).observe(job.latency)
+        self.registry.counter("fleet.jobs.completed", kind=job.kind).inc()
+        if job.outsourced:
+            self.registry.counter("fleet.jobs.outsourced", kind=job.kind).inc()
+
     def _submit_lepton(self, kind: str) -> None:
         size = self._sample_size_bytes()
         threads = choose_thread_count(size)
         work = encode_work(size) if kind == "lepton_encode" else decode_work(size)
+        self.registry.counter("fleet.jobs.submitted", kind=kind).inc()
         job = Job(kind, work, threads, self.clock.now,
-                  on_complete=self.metrics.jobs.append)
+                  on_complete=self._record_job)
         local = self.blockservers[int(self.rng.integers(len(self.blockservers)))]
         target = self.policy.choose_server(
             local, self.blockservers, self.dedicated, self.rng
@@ -185,6 +230,11 @@ class FleetSim:
         def sample():
             counts = [s.lepton_count for s in self.blockservers]
             self.metrics.concurrency_samples.append((self.clock.now, counts))
+            hour_hist = self.registry.histogram(
+                "fleet.concurrency", hour=int(self.clock.now // 3600)
+            )
+            for count in counts:
+                hour_hist.observe(count)
             if self.clock.now + self.config.sample_interval <= self.config.duration_hours * 3600.0:
                 self.clock.after(self.config.sample_interval, sample)
 

@@ -2,9 +2,18 @@
 
 import pytest
 
+import repro.obs
 from repro.corpus.builder import corpus_jpeg
 from repro.corpus.images import synthetic_photo
 from repro.jpeg.writer import encode_baseline_jpeg
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """Each test gets a clean global registry and tracer (docs/observability.md)."""
+    repro.obs.reset()
+    yield
+    repro.obs.reset()
 
 
 @pytest.fixture(scope="session")

@@ -88,3 +88,62 @@ def test_allow_cmyk_flag(tmp_path):
     # ...extended path: compresses.
     assert main(["compress", str(path), str(out), "--allow-cmyk",
                  "--quiet"]) == 0
+
+
+def test_exit_statuses_are_frozen():
+    """Regression: exit statuses are part of the operational contract (the
+    §6.2 tabulation and every wrapper script keys on them), so they are
+    pinned numbers — not whatever ``enumerate(ExitCode)`` happens to yield.
+    """
+    assert EXIT_STATUS == {
+        ExitCode.SUCCESS: 0,
+        ExitCode.PROGRESSIVE: 1,
+        ExitCode.UNSUPPORTED_JPEG: 2,
+        ExitCode.NOT_AN_IMAGE: 3,
+        ExitCode.CMYK: 4,
+        ExitCode.DECODE_MEMORY_EXCEEDED: 5,
+        ExitCode.ENCODE_MEMORY_EXCEEDED: 6,
+        ExitCode.SERVER_SHUTDOWN: 7,
+        ExitCode.IMPOSSIBLE: 8,
+        ExitCode.ABORT_SIGNAL: 9,
+        ExitCode.TIMEOUT: 10,
+        ExitCode.CHROMA_SUBSAMPLE_BIG: 11,
+        ExitCode.AC_OUT_OF_RANGE: 12,
+        ExitCode.ROUNDTRIP_FAILED: 13,
+        ExitCode.OOM_KILL: 14,
+        ExitCode.OPERATOR_INTERRUPT: 15,
+    }
+    assert set(EXIT_STATUS) == set(ExitCode)
+
+
+def test_stats_subcommand_prints_registry(jpeg_path, capsys):
+    assert main(["stats", str(jpeg_path)]) == 0
+    out = capsys.readouterr().out
+    assert "lepton.compress.attempts counter 1" in out
+    assert "lepton.compress.exit_codes{code=Success} counter 1" in out
+    assert "lepton.compress.seconds histogram count=1" in out
+    assert "span.lepton.encode.parse.wall_seconds histogram" in out
+    assert "lepton.decompress.count{format=lepton} counter 1" in out
+
+
+def test_stats_flag_on_any_command(tmp_path, jpeg_path, capsys):
+    lep = tmp_path / "photo.lep"
+    assert main(["compress", str(jpeg_path), str(lep), "--stats",
+                 "--quiet"]) == 0
+    err = capsys.readouterr().err
+    assert "lepton.compress.attempts counter 1" in err
+
+
+def test_trace_flag_exports_jsonl(tmp_path, jpeg_path):
+    import json
+
+    lep = tmp_path / "photo.lep"
+    trace = tmp_path / "trace.jsonl"
+    assert main(["compress", str(jpeg_path), str(lep), "--trace", str(trace),
+                 "--quiet"]) == 0
+    records = [json.loads(line) for line in trace.read_text().splitlines()]
+    names = {r["name"] for r in records}
+    assert "lepton.compress" in names
+    assert "lepton.encode.code_segment" in names
+    compress_span = next(r for r in records if r["name"] == "lepton.compress")
+    assert compress_span["depth"] == 0 and "wall_ms" in compress_span

@@ -1,0 +1,95 @@
+"""ExitCodeSink: §6.2 tabulation and the anomaly shutoff hook."""
+
+import pytest
+
+from repro.core.errors import ExitCode
+from repro.obs import ExitCodeSink, MetricsRegistry
+from repro.storage.safety import ShutoffSwitch
+
+
+@pytest.fixture
+def sink():
+    return ExitCodeSink(MetricsRegistry(), metric="test.exit_codes")
+
+
+@pytest.fixture
+def switch(tmp_path):
+    return ShutoffSwitch(directory=str(tmp_path))
+
+
+def _fill(sink, successes, failures):
+    for _ in range(successes):
+        sink.record(ExitCode.SUCCESS)
+    for _ in range(failures):
+        sink.record(ExitCode.ROUNDTRIP_FAILED)
+
+
+def test_counts_and_total(sink):
+    _fill(sink, successes=3, failures=1)
+    sink.record(ExitCode.PROGRESSIVE)
+    assert sink.counts() == {
+        ExitCode.SUCCESS: 3,
+        ExitCode.ROUNDTRIP_FAILED: 1,
+        ExitCode.PROGRESSIVE: 1,
+    }
+    assert sink.total == 5
+
+
+def test_counts_come_from_the_registry(sink):
+    sink.record(ExitCode.SUCCESS)
+    counter = sink.registry.get("test.exit_codes", code=ExitCode.SUCCESS.value)
+    assert counter is not None and counter.value == 1
+
+
+def test_success_rate_and_shares(sink):
+    assert sink.success_rate() == 1.0      # vacuous success on no data
+    assert sink.shares() == {}
+    _fill(sink, successes=9, failures=1)
+    assert sink.success_rate() == pytest.approx(0.9)
+    assert sink.shares()[ExitCode.ROUNDTRIP_FAILED] == pytest.approx(0.1)
+
+
+def test_table_is_sorted_by_count_descending(sink):
+    _fill(sink, successes=6, failures=1)
+    for _ in range(3):
+        sink.record(ExitCode.PROGRESSIVE)
+    table = sink.table()
+    assert [row[0] for row in table] == [
+        ExitCode.SUCCESS.value, ExitCode.PROGRESSIVE.value,
+        ExitCode.ROUNDTRIP_FAILED.value,
+    ]
+    assert table[0][1] == 6
+    assert table[0][2] == pytest.approx(60.0)
+    assert sum(row[2] for row in table) == pytest.approx(100.0)
+
+
+def test_anomalous_needs_min_samples(sink):
+    _fill(sink, successes=0, failures=19)
+    assert not sink.anomalous(min_samples=20)
+    sink.record(ExitCode.ROUNDTRIP_FAILED)
+    assert sink.anomalous(min_samples=20)
+
+
+def test_healthy_rates_never_trip(sink, switch):
+    _fill(sink, successes=94, failures=6)   # the paper's §6.2 mix
+    assert not sink.anomalous()
+    assert not sink.guard(switch)
+    assert not switch.engaged
+
+
+def test_guard_engages_switch_once(sink, switch):
+    _fill(sink, successes=2, failures=28)
+    assert sink.guard(switch) is True
+    assert switch.engaged
+    # Idempotent: the switch stays engaged, but this call didn't engage it.
+    assert sink.guard(switch) is False
+    assert switch.engaged
+    switch.release()
+    assert not switch.engaged
+
+
+def test_custom_thresholds(sink, switch):
+    _fill(sink, successes=7, failures=3)
+    assert sink.anomalous(min_success_rate=0.8, min_samples=5)
+    assert sink.guard(switch, min_success_rate=0.8, min_samples=5)
+    assert switch.engaged

@@ -1,0 +1,131 @@
+"""StreamingHistogram: bounded-relative-error quantiles vs numpy."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import StreamingHistogram
+
+QS = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+
+
+def _assert_close(hist, values, accuracy):
+    for q in QS:
+        exact = float(np.quantile(values, q, method="lower"))
+        approx = hist.quantile(q)
+        # DDSketch guarantee: |approx - exact| <= accuracy * |exact|, with a
+        # hair of slack for the interpolation difference in the exact rank.
+        assert abs(approx - exact) <= 2.0 * accuracy * abs(exact) + 1e-12, (
+            f"q={q}: {approx} vs exact {exact}"
+        )
+
+
+def test_matches_numpy_on_lognormal_stream():
+    rng = np.random.default_rng(7)
+    values = rng.lognormal(mean=0.0, sigma=1.5, size=20_000)
+    hist = StreamingHistogram()
+    for v in values:
+        hist.observe(float(v))
+    _assert_close(hist, values, hist.relative_accuracy)
+
+
+def test_matches_numpy_with_negatives_and_zeros():
+    rng = np.random.default_rng(11)
+    values = np.concatenate([
+        rng.normal(loc=-5.0, scale=2.0, size=5_000),
+        np.zeros(500),
+        rng.lognormal(size=5_000),
+    ])
+    rng.shuffle(values)
+    hist = StreamingHistogram(relative_accuracy=0.005)
+    for v in values:
+        hist.observe(float(v))
+    for q in QS:
+        exact = float(np.quantile(values, q, method="lower"))
+        approx = hist.quantile(q)
+        assert abs(approx - exact) <= 2.0 * 0.005 * abs(exact) + 1e-9
+
+
+def test_extremes_are_exact():
+    hist = StreamingHistogram()
+    for v in (0.003, 1.0, 7.5, 1234.5):
+        hist.observe(v)
+    assert hist.quantile(0.0) == 0.003
+    assert hist.quantile(1.0) == 1234.5
+    assert hist.min == 0.003 and hist.max == 1234.5
+
+
+def test_count_sum_mean_are_exact():
+    hist = StreamingHistogram()
+    values = [0.25, 0.5, 0.5, 3.0]
+    for v in values:
+        hist.observe(v)
+    hist.observe(10.0, n=2)
+    assert hist.count == 6
+    assert hist.total == pytest.approx(sum(values) + 20.0)
+    assert hist.mean == pytest.approx((sum(values) + 20.0) / 6)
+
+
+def test_merge_equals_single_stream():
+    rng = np.random.default_rng(3)
+    a_vals = rng.lognormal(size=4_000)
+    b_vals = rng.lognormal(sigma=2.0, size=4_000)
+    merged, single = StreamingHistogram(), StreamingHistogram()
+    for v in a_vals:
+        merged.observe(float(v))
+    other = StreamingHistogram()
+    for v in b_vals:
+        other.observe(float(v))
+    for v in np.concatenate([a_vals, b_vals]):
+        single.observe(float(v))
+    merged.merge(other)
+    assert merged.count == single.count
+    assert merged.total == pytest.approx(single.total)
+    for q in QS:
+        assert merged.quantile(q) == pytest.approx(single.quantile(q))
+
+
+def test_merge_rejects_mismatched_accuracy():
+    with pytest.raises(ValueError):
+        StreamingHistogram(0.01).merge(StreamingHistogram(0.02))
+
+
+def test_rejects_nan_and_inf():
+    hist = StreamingHistogram()
+    for bad in (math.nan, math.inf, -math.inf):
+        with pytest.raises(ValueError):
+            hist.observe(bad)
+    assert hist.count == 0
+
+
+def test_empty_histogram_is_quiet():
+    hist = StreamingHistogram()
+    assert hist.quantile(0.5) == 0.0
+    assert hist.mean == 0.0
+    summary = hist.summary()
+    assert summary["count"] == 0 and summary["p99"] == 0.0
+
+
+def test_summary_keys():
+    hist = StreamingHistogram()
+    hist.observe(2.0)
+    assert set(hist.summary()) == {
+        "count", "sum", "mean", "min", "max", "p50", "p90", "p99"
+    }
+
+
+def test_invalid_quantile_and_accuracy():
+    with pytest.raises(ValueError):
+        StreamingHistogram(0.0)
+    with pytest.raises(ValueError):
+        StreamingHistogram().quantile(1.5)
+
+
+def test_memory_stays_logarithmic():
+    hist = StreamingHistogram()
+    rng = np.random.default_rng(5)
+    for v in rng.lognormal(sigma=3.0, size=50_000):
+        hist.observe(float(v))
+    # 1% relative accuracy over ~10 decades needs only a few hundred buckets.
+    assert len(hist._positive) < 3_000
