@@ -1,0 +1,23 @@
+# Developer entry points.  Everything runs against the in-tree sources
+# (PYTHONPATH=src) so no editable install is needed.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test lint lint-json lint-tests
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# The determinism/safety static analysis (docs/lint.md).  Exits non-zero
+# on any D1-D5 finding; the same gate runs inside storage.qualification.
+lint:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.lint src/repro
+
+lint-json:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.lint --json src/repro
+
+# Just the lint-marked portion of the test suite (self-clean gate,
+# fixture corpus, reporter schema).
+lint-tests:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m lint

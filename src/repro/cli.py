@@ -10,7 +10,6 @@ docs/observability.md for the contract).
 
 import argparse
 import sys
-from typing import Dict
 
 from repro.core.errors import ExitCode
 from repro.core.lepton import (
@@ -23,33 +22,11 @@ from repro.core.lepton import (
 )
 from repro.obs import get_registry, get_tracer
 
-#: Pinned numeric process exit codes per §6.2 category (0 = success).
-#: Deliberately explicit rather than derived from enum iteration order:
-#: scripts and monitoring match on these numbers, so adding an ExitCode
-#: member must never silently renumber the existing ones
-#: (tests/core/test_cli.py freezes this table).
-EXIT_STATUS: Dict[ExitCode, int] = {
-    ExitCode.SUCCESS: 0,
-    ExitCode.PROGRESSIVE: 1,
-    ExitCode.UNSUPPORTED_JPEG: 2,
-    ExitCode.NOT_AN_IMAGE: 3,
-    ExitCode.CMYK: 4,
-    ExitCode.DECODE_MEMORY_EXCEEDED: 5,
-    ExitCode.ENCODE_MEMORY_EXCEEDED: 6,
-    ExitCode.SERVER_SHUTDOWN: 7,
-    ExitCode.IMPOSSIBLE: 8,
-    ExitCode.ABORT_SIGNAL: 9,
-    ExitCode.TIMEOUT: 10,
-    ExitCode.CHROMA_SUBSAMPLE_BIG: 11,
-    ExitCode.AC_OUT_OF_RANGE: 12,
-    ExitCode.ROUNDTRIP_FAILED: 13,
-    ExitCode.OOM_KILL: 14,
-    ExitCode.OPERATOR_INTERRUPT: 15,
-}
-
-if set(EXIT_STATUS) != set(ExitCode):  # pragma: no cover - import-time guard
-    _missing = {code.name for code in ExitCode} - {code.name for code in EXIT_STATUS}
-    raise RuntimeError(f"EXIT_STATUS must pin every ExitCode; missing: {_missing}")
+# The pinned §6.2 status table lives with the exit-code telemetry
+# (repro.obs.exitcodes) and is re-exported here for the process boundary;
+# lint rule D3 statically guarantees it pins every ExitCode member exactly
+# once, replacing the import-time runtime guard that used to live here.
+from repro.obs.exitcodes import EXIT_STATUS
 
 
 def _read(path: str) -> bytes:
@@ -103,9 +80,25 @@ def _stats_command(data: bytes, config: LeptonConfig) -> int:
     return EXIT_STATUS[result.exit_code]
 
 
+def _lint(path: str, as_json: bool, quiet: bool) -> int:
+    """Run the determinism/safety static analysis (docs/lint.md)."""
+    from repro.lint import LintEngine, collect_files, render_json, render_text
+    from repro.lint.engine import load_module
+
+    files = collect_files([path])
+    findings = LintEngine().run_modules([load_module(p) for p in files])
+    render = render_json if as_json else render_text
+    if not quiet or findings:
+        print(render(findings, files_scanned=len(files)))
+    return 1 if findings else 0
+
+
 def _dispatch(args, config: LeptonConfig) -> int:
     if args.command == "qualify":
         return _qualify(args.input, config, args.quiet)
+
+    if args.command == "lint":
+        return _lint(args.input, args.as_json, args.quiet)
 
     data = _read(args.input)
 
@@ -152,9 +145,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument("command",
                         choices=["compress", "decompress", "verify", "qualify",
-                                 "stats"])
+                                 "stats", "lint"])
     parser.add_argument("input",
-                        help="input path (- for stdin); for qualify: a directory")
+                        help="input path (- for stdin); for qualify/lint: "
+                             "a directory")
     parser.add_argument("output", nargs="?", default=None,
                         help="output path, or - for stdout")
     parser.add_argument("--threads", type=int, default=None,
@@ -167,6 +161,8 @@ def main(argv=None) -> int:
                         help="print the metrics registry to stderr afterwards")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write the span trace (JSON lines) to PATH")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="for lint: emit the version-1 JSON report")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -176,7 +172,17 @@ def main(argv=None) -> int:
         allow_cmyk=args.allow_cmyk,
     )
 
-    status = _dispatch(args, config)
+    # The §6.2 operational codes at the process boundary: an operator's
+    # Ctrl-C and an allocator failure are conversion outcomes too, not
+    # unclassified tracebacks.
+    try:
+        status = _dispatch(args, config)
+    except KeyboardInterrupt:
+        print("lepton: interrupted", file=sys.stderr)
+        return EXIT_STATUS[ExitCode.OPERATOR_INTERRUPT]
+    except MemoryError:
+        print("lepton: out of memory", file=sys.stderr)
+        return EXIT_STATUS[ExitCode.OOM_KILL]
     if args.show_stats and args.command != "stats":
         print(get_registry().render(), file=sys.stderr)
     if args.trace:

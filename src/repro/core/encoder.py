@@ -108,7 +108,7 @@ def encode_jpeg(
     families on rejection; :func:`repro.core.lepton.compress` maps them to
     §6.2 exit codes and the Deflate fallback.
     """
-    start_time = time.monotonic()
+    start_time = time.monotonic()  # lint: disable=D2 - telemetry only
     model_config = model_config or ModelConfig()
     with trace_span("lepton.encode.parse"):
         img = parse_jpeg(data, max_components=4 if allow_cmyk else 3)
@@ -141,7 +141,8 @@ def encode_jpeg(
     bit_costs: Dict[str, float] = {}
     model_bins = 0
     for segment_index, (mcu_start, mcu_end) in enumerate(seg_ranges):
-        if deadline is not None and time.monotonic() > deadline:
+        # Wall-clock by definition (§6.6); can only reject, never recode.
+        if deadline is not None and time.monotonic() > deadline:  # lint: disable=D2
             raise TimeoutExceeded("encode exceeded its deadline")
         # Model construction and boolean coding are one interleaved stage:
         # every coded bit consults the adaptive bins it just updated.
@@ -175,7 +176,7 @@ def encode_jpeg(
     stats.output_size = len(payload)
     stats.bit_costs = bit_costs
     stats.model_bins = model_bins
-    stats.encode_seconds = time.monotonic() - start_time
+    stats.encode_seconds = time.monotonic() - start_time  # lint: disable=D2
     if collect_breakdown:
         stats.original_bits = huffman_bit_breakdown(img)
     return payload, stats
@@ -196,30 +197,30 @@ def encode_jpeg_timed(
     which is exactly why Figure 8 plateaus between 4 and 8 threads.
     """
     model_config = model_config or ModelConfig()
-    serial_t0 = time.perf_counter()
+    serial_t0 = time.perf_counter()  # lint: disable=D2 - the measurement itself
     img = parse_jpeg(data)
     decode_scan(img)
     positions = verify_and_index(img)
     thread_count = threads if threads is not None else choose_thread_count(len(data))
     frame = img.frame
     seg_ranges = plan_segments(frame.mcus_y, frame.mcus_x, thread_count)
-    serial_head = time.perf_counter() - serial_t0
+    serial_head = time.perf_counter() - serial_t0  # lint: disable=D2 - the measurement itself
 
     segments: List[SegmentRecord] = []
     segment_seconds: List[float] = []
     for mcu_start, mcu_end in seg_ranges:
-        seg_t0 = time.perf_counter()
+        seg_t0 = time.perf_counter()  # lint: disable=D2 - the measurement itself
         codec = SegmentCodec(frame, img.quant_tables, img.coefficients, model_config)
         encoder = BoolEncoder()
         codec.encode(encoder, mcu_start, mcu_end)
         coded = encoder.finish()
-        segment_seconds.append(time.perf_counter() - seg_t0)
+        segment_seconds.append(time.perf_counter() - seg_t0)  # lint: disable=D2 - the measurement itself
         segments.append(
             SegmentRecord(mcu_start, mcu_end,
                           HandoverWord.from_position(positions[mcu_start]), coded)
         )
 
-    tail_t0 = time.perf_counter()
+    tail_t0 = time.perf_counter()  # lint: disable=D2 - the measurement itself
     lepton = LeptonFile(
         jpeg_header=img.header_bytes,
         pad_bit=img.pad_bit or 0,
@@ -234,7 +235,7 @@ def encode_jpeg_timed(
         segments=segments,
     )
     payload = write_container(lepton)
-    serial_tail = time.perf_counter() - tail_t0
+    serial_tail = time.perf_counter() - tail_t0  # lint: disable=D2 - the measurement itself
     serial_total = serial_head + sum(segment_seconds) + serial_tail
     effective = serial_head + max(segment_seconds, default=0.0) + serial_tail
     return payload, effective, serial_total

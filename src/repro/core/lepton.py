@@ -139,11 +139,12 @@ def compress(data: bytes, config: Optional[LeptonConfig] = None) -> CompressionR
     """
     registry = get_registry()
     registry.counter("lepton.compress.attempts").inc()
-    start = time.monotonic()
+    # Telemetry only: never feeds a coded decision.
+    start = time.monotonic()  # lint: disable=D2
     with trace_span("lepton.compress", input_bytes=len(data)):
         result = _compress_inner(data, config)
     registry.histogram("lepton.compress.seconds").observe(
-        time.monotonic() - start
+        time.monotonic() - start  # lint: disable=D2
     )
     _EXIT_SINK.record(result.exit_code)
     registry.counter("lepton.compress.input_bytes").inc(len(data))
@@ -156,8 +157,10 @@ def compress(data: bytes, config: Optional[LeptonConfig] = None) -> CompressionR
 
 def _compress_inner(data: bytes, config: Optional[LeptonConfig]) -> CompressionResult:
     config = config or LeptonConfig()
+    # Timeouts are wall-clock by definition (§6.6) and only ever *reject* a
+    # conversion — they cannot alter coded bytes of a successful one.
     deadline = (
-        time.monotonic() + config.timeout_seconds
+        time.monotonic() + config.timeout_seconds  # lint: disable=D2
         if config.timeout_seconds is not None
         else None
     )
@@ -190,6 +193,11 @@ def _compress_inner(data: bytes, config: Optional[LeptonConfig]) -> CompressionR
         exit_code, detail = exc.exit_code, str(exc)
     except TimeoutExceeded as exc:
         exit_code, detail = ExitCode.TIMEOUT, str(exc)
+    except LeptonError as exc:
+        # An internal invariant broke mid-encode (say, a FormatError while
+        # writing our own container): the §6.2 "Impossible" bucket.  The
+        # contract that compress() never raises holds even for bugs.
+        exit_code, detail = ExitCode.IMPOSSIBLE, f"{type(exc).__name__}: {exc}"
 
     if config.deflate_fallback:
         payload = zlib.compress(data, 6)
@@ -212,7 +220,7 @@ def decompress(payload: bytes, parallel: bool = True,
 def decompress_result(payload: bytes, parallel: bool = True,
                       model_config: Optional[ModelConfig] = None) -> DecompressionResult:
     """Like :func:`decompress` but with timing and format metadata."""
-    start = time.monotonic()
+    start = time.monotonic()  # lint: disable=D2 - telemetry only
     with trace_span("lepton.decompress", payload_bytes=len(payload)):
         if payload[:2] == lformat.MAGIC:
             data = decode_lepton(payload, model_config=model_config, parallel=parallel)
@@ -220,7 +228,7 @@ def decompress_result(payload: bytes, parallel: bool = True,
         else:
             data = zlib.decompress(payload)
             fmt = FORMAT_DEFLATE
-    seconds = time.monotonic() - start
+    seconds = time.monotonic() - start  # lint: disable=D2 - telemetry only
     registry = get_registry()
     registry.counter("lepton.decompress.count", format=fmt).inc()
     registry.histogram("lepton.decompress.seconds").observe(seconds)

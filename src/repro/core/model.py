@@ -13,9 +13,42 @@ why adding threads costs compression (§3.4) — an effect measured by
 ``benchmarks/bench_fig8_encode_speed_threads.py``.
 """
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Tuple
+
+# --- fixed-point information accounting -----------------------------------
+
+#: Fractional bits of the fixed-point Shannon costs below.
+COST_FRAC_BITS = 16
+
+
+def _log2_fix(x: int, frac_bits: int = COST_FRAC_BITS) -> int:
+    """⌊log₂(x) · 2^frac_bits⌋ by shift-and-square, in exact integer
+    arithmetic — no libm, so the value is identical on every platform
+    (rule D1: the coded path and its tables never touch floats)."""
+    if x <= 0:
+        raise ValueError("log2 of a non-positive value")
+    int_part = x.bit_length() - 1
+    result = int_part << frac_bits
+    # Mantissa in [1, 2) as a Q31 fixed-point value.
+    if int_part <= 31:
+        mantissa = x << (31 - int_part)
+    else:
+        mantissa = x >> (int_part - 31)
+    for i in range(frac_bits):
+        mantissa = (mantissa * mantissa) >> 31
+        if mantissa >= (2 << 31):
+            mantissa >>= 1
+            result |= 1 << (frac_bits - 1 - i)
+    return result
+
+
+#: Shannon cost (in bits scaled by 2^16) of coding a *zero* bit under
+#: probability ``p/256``: −log₂(p/256) = 8 − log₂(p).  A *one* bit under
+#: probability ``p`` costs ``_BIT_COST[256 − p]``.
+_BIT_COST = [0] * 257
+for _p in range(1, 256):
+    _BIT_COST[_p] = (8 << COST_FRAC_BITS) - _log2_fix(_p)
 
 
 class Branch:
@@ -77,14 +110,16 @@ class Model:
     ``bit_costs`` accumulates the Shannon information (in bits) charged to
     each component category — 'nnz', '7x7', 'edge', 'dc' — which is how the
     Figure-4 breakdown is measured without per-symbol byte boundaries.
+    The accumulation itself runs in 2^16 fixed point so that the coded path
+    stays integer-exact; only the reporting property converts to float.
     """
 
-    __slots__ = ("bins", "config", "bit_costs", "_category")
+    __slots__ = ("bins", "config", "_cost_fix", "_category")
 
     def __init__(self, config: ModelConfig = None):
         self.bins: Dict[Tuple, Branch] = {}
         self.config = config or ModelConfig()
-        self.bit_costs = {"nnz": 0.0, "7x7": 0.0, "edge": 0.0, "dc": 0.0}
+        self._cost_fix = {"nnz": 0, "7x7": 0, "edge": 0, "dc": 0}
         self._category = "7x7"
 
     def branch(self, key: Tuple) -> Branch:
@@ -100,9 +135,16 @@ class Model:
         self._category = category
 
     def charge(self, prob: int, bit: int) -> None:
-        """Record the information content of one coded bit."""
-        p = prob / 256.0 if bit == 0 else 1.0 - prob / 256.0
-        self.bit_costs[self._category] += -math.log2(max(p, 1e-9))
+        """Record the information content of one coded bit (fixed point)."""
+        cost = _BIT_COST[prob] if bit == 0 else _BIT_COST[256 - prob]
+        self._cost_fix[self._category] += cost
+
+    @property
+    def bit_costs(self) -> Dict[str, float]:
+        """Per-category information in bits (reporting only, hence the one
+        sanctioned float conversion off the coded path)."""
+        scale = 1 << COST_FRAC_BITS
+        return {k: v / scale for k, v in self._cost_fix.items()}  # lint: disable=D1
 
     @property
     def bin_count(self) -> int:
@@ -111,10 +153,15 @@ class Model:
 
 # --- shared context-bucketing helpers (encoder and decoder must agree) ----
 
-LOG_159 = math.log(1.59)
+# ⌊log₁.₅₉ n⌋ capped to 9, built in exact integer arithmetic: with
+# 1.59 = 159/100, bucket(n) is the largest k ≤ 9 with 159^k ≤ n·100^k.
+# (tests/core/test_model.py pins this table against the real-log formula.)
 _NNZ_BUCKET = [0] * 50
 for _n in range(1, 50):
-    _NNZ_BUCKET[_n] = min(int(math.log(_n) / LOG_159), 9)
+    _k = 0
+    while _k < 9 and 159 ** (_k + 1) <= _n * 100 ** (_k + 1):
+        _k += 1
+    _NNZ_BUCKET[_n] = _k
 
 
 def nnz_bucket(n: int) -> int:

@@ -1,0 +1,8 @@
+"""``python -m repro.lint`` — see :func:`repro.lint.main`."""
+
+import sys
+
+from repro.lint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Per-line suppression pragmas.
+
+Two forms, mirroring the usual linter conventions:
+
+* ``# lint: disable=D1`` (or ``disable=D1,D2``) on a line suppresses those
+  rules *for that line only*;
+* ``# lint: disable-file=D2`` anywhere in the first ten lines of a module
+  suppresses the rules for the whole file.
+
+``disable=all`` suppresses every rule.  A pragma is an assertion that a
+human looked at the finding and the code is intentional — the comment next
+to it should say why, and the fixture corpus in ``tests/lint`` keeps the
+parser honest.
+"""
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+#: Rule ids after ``disable=`` stop at the first token that is not an id —
+#: ``# lint: disable=D2 - telemetry only`` suppresses D2 and keeps the prose.
+_IDS = r"([A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)"
+_LINE_RE = re.compile(r"#\s*lint:\s*disable=" + _IDS)
+_FILE_RE = re.compile(r"#\s*lint:\s*disable-file=" + _IDS)
+
+#: ``disable-file`` pragmas are only honoured near the top of the module,
+#: where a reader looking for them will actually look.
+FILE_PRAGMA_WINDOW = 10
+
+ALL = "all"
+
+
+@dataclass
+class FilePragmas:
+    """Parsed suppression state for one source file."""
+
+    per_line: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    whole_file: FrozenSet[str] = frozenset()
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        if ALL in self.whole_file or rule_id in self.whole_file:
+            return True
+        rules = self.per_line.get(line, frozenset())
+        return ALL in rules or rule_id in rules
+
+
+def _split(ids: str) -> Set[str]:
+    return {part.strip() for part in ids.split(",") if part.strip()}
+
+
+def parse_pragmas(source: str) -> FilePragmas:
+    """Extract pragmas from ``source`` (1-based line numbers)."""
+    per_line: Dict[int, FrozenSet[str]] = {}
+    whole_file: Set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _LINE_RE.search(text)
+        if match:
+            per_line[lineno] = frozenset(_split(match.group(1)))
+        match = _FILE_RE.search(text)
+        if match and lineno <= FILE_PRAGMA_WINDOW:
+            whole_file |= _split(match.group(1))
+    return FilePragmas(per_line, frozenset(whole_file))

@@ -1,0 +1,82 @@
+"""Reporters: human-readable text and the machine-readable JSON schema.
+
+The JSON schema (version 1, documented in ``docs/lint.md``) is the
+interface CI and the qualification gate consume::
+
+    {
+      "version": 1,
+      "tool": "repro.lint",
+      "files_scanned": 70,
+      "rules": ["D1", "D2", ...],
+      "clean": false,
+      "counts": {"D1": 2},
+      "findings": [
+        {"rule": "D1", "file": "src/repro/core/model.py",
+         "line": 117, "col": 22, "message": "..."}
+      ]
+    }
+
+Fields are only ever *added* to the schema; ``version`` bumps on any
+incompatible change, mirroring the container-format discipline of §6.7.
+"""
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.engine import Finding
+
+SCHEMA_VERSION = 1
+TOOL_NAME = "repro.lint"
+
+
+def finding_counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return counts
+
+
+def render_text(findings: Sequence[Finding], files_scanned: int) -> str:
+    """One ``file:line:col: RULE message`` line per finding + a summary."""
+    lines: List[str] = [
+        f"{f.location()}: {f.rule} {f.message}" for f in findings
+    ]
+    if findings:
+        per_rule = ", ".join(
+            f"{rule}={count}" for rule, count in sorted(finding_counts(findings).items())
+        )
+        lines.append(
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+            f"({per_rule}) in {files_scanned} files"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {files_scanned} files")
+    return "\n".join(lines)
+
+
+def to_json_dict(findings: Sequence[Finding], files_scanned: int) -> dict:
+    from repro.lint.rules import all_rules
+
+    return {
+        "version": SCHEMA_VERSION,
+        "tool": TOOL_NAME,
+        "files_scanned": files_scanned,
+        "rules": [rule.id for rule in all_rules()],
+        "clean": not findings,
+        "counts": finding_counts(findings),
+        "findings": [
+            {
+                "rule": f.rule,
+                "file": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+
+
+def render_json(findings: Sequence[Finding], files_scanned: int) -> str:
+    return json.dumps(to_json_dict(findings, files_scanned), indent=2,
+                      sort_keys=True)

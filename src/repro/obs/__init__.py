@@ -18,14 +18,22 @@ Quick use::
     print(get_registry().render())
 """
 
-from repro.obs.exitcodes import ExitCodeSink
+from repro.obs.exitcodes import (
+    EXIT_STATUS,
+    SIGNAL_EXIT_CODES,
+    ExitCodeSink,
+    exit_code_for_signal,
+)
 from repro.obs.histogram import StreamingHistogram
 from repro.obs.registry import Counter, Gauge, MetricsRegistry, get_registry
 from repro.obs.tracing import SpanRecord, Tracer, get_tracer, trace_span
 
 __all__ = [
     "Counter",
+    "EXIT_STATUS",
     "ExitCodeSink",
+    "SIGNAL_EXIT_CODES",
+    "exit_code_for_signal",
     "Gauge",
     "MetricsRegistry",
     "SpanRecord",

@@ -9,12 +9,58 @@ engages the :class:`~repro.storage.safety.ShutoffSwitch` (the <30-second
 /dev/shm kill file of §5.7) instead of waiting for a human page.
 """
 
+import signal
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.errors import ExitCode
 
 #: Reverse lookup: §6.2 label string -> enum member.
 _CODE_BY_VALUE = {code.value: code for code in ExitCode}
+
+#: Pinned numeric process exit codes per §6.2 category (0 = success).
+#: This table is the single source of truth for every surface that maps an
+#: :class:`ExitCode` to a process status (the ``lepton`` CLI re-exports it).
+#: Deliberately explicit rather than derived from enum iteration order:
+#: scripts and monitoring match on these numbers, so adding an ExitCode
+#: member must never silently renumber the existing ones.  Completeness —
+#: every member pinned exactly once, every member produced somewhere — is
+#: enforced statically by lint rule D3 (tests/lint/test_self_clean.py) and
+#: frozen at the numeric level by tests/core/test_cli.py.
+EXIT_STATUS: Dict[ExitCode, int] = {
+    ExitCode.SUCCESS: 0,
+    ExitCode.PROGRESSIVE: 1,
+    ExitCode.UNSUPPORTED_JPEG: 2,
+    ExitCode.NOT_AN_IMAGE: 3,
+    ExitCode.CMYK: 4,
+    ExitCode.DECODE_MEMORY_EXCEEDED: 5,
+    ExitCode.ENCODE_MEMORY_EXCEEDED: 6,
+    ExitCode.SERVER_SHUTDOWN: 7,
+    ExitCode.IMPOSSIBLE: 8,
+    ExitCode.ABORT_SIGNAL: 9,
+    ExitCode.TIMEOUT: 10,
+    ExitCode.CHROMA_SUBSAMPLE_BIG: 11,
+    ExitCode.AC_OUT_OF_RANGE: 12,
+    ExitCode.ROUNDTRIP_FAILED: 13,
+    ExitCode.OOM_KILL: 14,
+    ExitCode.OPERATOR_INTERRUPT: 15,
+}
+
+#: How environment-delivered terminations map into the §6.2 taxonomy: the
+#: production binary dies by signal when the fleet drains it (SIGTERM on
+#: server shutdown), when glibc aborts it, when the kernel OOM killer
+#: SIGKILLs it, or when an operator hits Ctrl-C.  Conversions that end this
+#: way still land in the exit-code table rather than vanishing.
+SIGNAL_EXIT_CODES: Dict[int, ExitCode] = {
+    int(signal.SIGTERM): ExitCode.SERVER_SHUTDOWN,
+    int(signal.SIGABRT): ExitCode.ABORT_SIGNAL,
+    int(signal.SIGKILL): ExitCode.OOM_KILL,
+    int(signal.SIGINT): ExitCode.OPERATOR_INTERRUPT,
+}
+
+
+def exit_code_for_signal(signum: int) -> ExitCode:
+    """Classify a fatal signal; unknown signals count as abort (§6.2)."""
+    return SIGNAL_EXIT_CODES.get(int(signum), ExitCode.ABORT_SIGNAL)
 
 #: Default anomaly trigger: production success sits near 94% (§6.2); a
 #: sustained drop below half is unambiguous breakage, not corpus mix.

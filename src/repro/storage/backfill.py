@@ -137,12 +137,16 @@ class BackfillWorker:
     def __init__(self, metaserver: Metaserver,
                  upload: Callable[[str, bytes], None],
                  config: Optional[LeptonConfig] = None,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 shutoff=None):
         self.metaserver = metaserver
         self.upload = upload
         self.config = config or LeptonConfig()
         self.stats = BackfillStats()
         self.registry = registry if registry is not None else get_registry()
+        #: Optional §5.7 kill switch (:class:`~repro.storage.safety.ShutoffSwitch`);
+        #: when it engages mid-shard the worker drains instead of converting.
+        self.shutoff = shutoff
         #: §6.2 tabulation over this worker's chunks; bench_exit_codes
         #: reads the table from here rather than from private state.
         self.exit_sink = ExitCodeSink(self.registry, metric="backfill.exit_codes")
@@ -152,6 +156,14 @@ class BackfillWorker:
         while True:
             work = self.metaserver.request_work(shard, resume)
             for sha in work.chunk_hashes:
+                if self.shutoff is not None and self.shutoff.engaged:
+                    # The §5.7 drain path: a worker seeing the kill file
+                    # stops converting and reports the chunk it was about
+                    # to process as "Server shutdown" — the conversion
+                    # still lands in the §6.2 table instead of vanishing.
+                    self.stats.record(ExitCode.SERVER_SHUTDOWN)
+                    self.exit_sink.record(ExitCode.SERVER_SHUTDOWN)
+                    return
                 self._process_chunk(sha)
             resume = work.resume_token
             if resume is None and not work.chunk_hashes and not work.user_ids:

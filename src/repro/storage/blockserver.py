@@ -15,6 +15,7 @@ disproportionately versus the median.
 """
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
@@ -29,7 +30,17 @@ CORES_PER_SERVER = 16
 ENCODE_CORE_SECONDS_PER_MIB = 0.9
 DECODE_CORE_SECONDS_PER_MIB = 0.45
 
+# Process-wide job-id allocator.  Simulations on concurrent threads (the
+# Figure-10 grid can be farmed out) share this counter, so the draw is
+# lock-guarded rather than relying on the GIL's incidental atomicity
+# (rule D4: shared module-level state mutates only under a lock).
 _job_ids = itertools.count()
+_job_ids_lock = threading.Lock()
+
+
+def _next_job_id() -> int:
+    with _job_ids_lock:
+        return next(_job_ids)
 
 
 @dataclass
@@ -41,7 +52,7 @@ class Job:
     threads: int
     arrival: float
     on_complete: Optional[Callable[["Job"], None]] = None
-    job_id: int = field(default_factory=lambda: next(_job_ids))
+    job_id: int = field(default_factory=_next_job_id)
     server_id: Optional[int] = None
     start_time: float = 0.0
     finish_time: float = 0.0

@@ -40,6 +40,9 @@ class QualificationReport:
     skipped: int = 0
     failures: List[QualificationFailure] = field(default_factory=list)
     determinism_checks: int = 0
+    #: Static-analysis findings against the shipped tree (docs/lint.md);
+    #: each also lands in ``failures`` as ``lint:<rule>``.
+    lint_findings: int = 0
 
     @property
     def qualified(self) -> bool:
@@ -54,12 +57,19 @@ def qualify_build(
     existing_payloads: Sequence[bytes] = (),
     compress_fn: Optional[Callable[[bytes], CompressionResult]] = None,
     decoders: Optional[Sequence[Callable[[bytes], bytes]]] = None,
+    lint_gate: bool = True,
 ) -> QualificationReport:
     """Run the qualification pipeline over ``corpus``.
 
     ``existing_payloads`` models the second gate: a candidate "must be able
     to decompress another billion images already compressed in the store"
     (§5.7) — format compatibility, the gate the §6.7 incident bypassed.
+
+    ``lint_gate`` runs the static determinism/safety analysis of
+    docs/lint.md over the installed ``repro`` tree first: a build that
+    carries a D1–D5 finding is rejected before a single file is compressed,
+    the same way the production harness refused to ship a build whose two
+    compilations disagreed (§5.2).
     """
     config = config or LeptonConfig()
     compress_fn = compress_fn or (lambda data: compress(data, config))
@@ -68,6 +78,20 @@ def qualify_build(
         lambda p: decompress(p, parallel=False),  # sanitising (gcc-asan)
     ]
     report = QualificationReport(build_id)
+    if lint_gate:
+        from repro.lint import check_shipped_tree
+
+        for finding in check_shipped_tree():
+            report.lint_findings += 1
+            report.failures.append(
+                QualificationFailure(
+                    f"lint:{finding.rule}",
+                    f"{finding.location()}: {finding.message}",
+                )
+            )
+        if report.failures:
+            # A build that fails static analysis never reaches the corpus.
+            return report
     for item in corpus:
         report.files_total += 1
         result = compress_fn(item.data)

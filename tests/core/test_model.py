@@ -137,3 +137,55 @@ class TestBuckets:
         assert confidence_bucket(0) == 0
         assert confidence_bucket(1) == 1
         assert confidence_bucket(1 << 20) == 13
+
+
+class TestFixedPointCosts:
+    """Regressions for the D1 fix: the information accounting moved from
+    math.log2 to exact integer arithmetic; it must still agree with the
+    float reference it replaced (and be bit-identical across platforms)."""
+
+    def test_log2_fix_matches_libm(self):
+        from repro.core.model import COST_FRAC_BITS, _log2_fix
+
+        scale = 1 << COST_FRAC_BITS
+        for x in (1, 2, 3, 7, 128, 255, 1000, (1 << 40) + 12345):
+            assert _log2_fix(x) / scale == pytest.approx(
+                math.log2(x), abs=2.0 / scale
+            )
+
+    def test_log2_fix_exact_on_powers_of_two(self):
+        from repro.core.model import COST_FRAC_BITS, _log2_fix
+
+        for k in range(0, 64, 7):
+            assert _log2_fix(1 << k) == k << COST_FRAC_BITS
+
+    def test_log2_fix_rejects_nonpositive(self):
+        from repro.core.model import _log2_fix
+
+        with pytest.raises(ValueError):
+            _log2_fix(0)
+
+    def test_bit_cost_table_matches_shannon(self):
+        from repro.core.model import _BIT_COST, COST_FRAC_BITS
+
+        scale = 1 << COST_FRAC_BITS
+        for p in range(1, 256):
+            assert _BIT_COST[p] / scale == pytest.approx(
+                -math.log2(p / 256.0), abs=2.0 / scale
+            )
+
+    def test_nnz_bucket_table_matches_float_construction(self):
+        from repro.core.model import _NNZ_BUCKET
+
+        log159 = math.log(1.59)
+        for n in range(1, 50):
+            assert _NNZ_BUCKET[n] == min(int(math.log(n) / log159), 9)
+
+    def test_charge_state_is_integer(self):
+        m = Model()
+        m.set_category("edge")
+        m.charge(37, 1)
+        m.charge(219, 0)
+        assert all(isinstance(v, int) for v in m._cost_fix.values())
+        # The public property still reports float bits.
+        assert m.bit_costs["edge"] > 0.0

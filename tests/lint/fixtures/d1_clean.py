@@ -1,0 +1,9 @@
+"""D1 fixture: integer-exact arithmetic only (and nothing for D2-D5)."""
+
+import math
+
+SCALE_NUM, SCALE_DEN = 3, 4
+
+def probability_fix(count, total, frac_bits=16):
+    ratio = (count << frac_bits) // total
+    return ratio * math.isqrt(total)

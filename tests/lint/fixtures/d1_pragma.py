@@ -1,0 +1,9 @@
+"""D1 fixture: the same violations as d1_trigger, each suppressed."""
+
+import math
+
+SCALE = 0.75  # lint: disable=D1 - reporting only, never coded
+
+def probability(count, total):
+    ratio = count / total  # lint: disable=D1 - reporting only
+    return float(ratio) * math.log(total)  # lint: disable=D1

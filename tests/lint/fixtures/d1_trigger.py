@@ -1,0 +1,9 @@
+"""D1 fixture: every statement here breaks the no-float rule."""
+
+import math
+
+SCALE = 0.75
+
+def probability(count, total):
+    ratio = count / total
+    return float(ratio) * math.log(total)

@@ -1,0 +1,6 @@
+"""D2 fixture: entropy through explicit seeds, time through the caller."""
+
+def sample_delay(candidates, rng, now):
+    ordered = sorted({1, 2, 3})
+    index = rng.integers(0, len(candidates))
+    return candidates[index], now, ordered

@@ -1,0 +1,11 @@
+"""D2 fixture: the whole file opts out via a file-level pragma."""
+# lint: disable-file=D2 - fixture exercising whole-file suppression
+
+import os
+import random
+import time
+
+def sample_delay(candidates):
+    started = time.time()
+    token = os.urandom(8)
+    return random.choice(candidates), started, token

@@ -1,0 +1,12 @@
+"""D2 fixture: ambient entropy in every form the rule knows about."""
+
+import os
+import random
+import time
+
+def sample_delay(candidates):
+    started = time.time()
+    token = os.urandom(8)
+    for item in {1, 2, 3}:
+        token += bytes([item])
+    return random.choice(candidates), started, token

@@ -1,0 +1,13 @@
+"""D4 fixture: the same mutations, all under the module lock."""
+
+import itertools
+import threading
+
+_JOBS = {}
+_IDS = itertools.count()
+_LOCK = threading.Lock()
+
+def record(key, value):
+    with _LOCK:
+        _JOBS[key] = value
+        return next(_IDS)

@@ -1,0 +1,10 @@
+"""D4 fixture: unguarded writes, each suppressed per line."""
+
+import itertools
+
+_JOBS = {}
+_IDS = itertools.count()
+
+def record(key, value):
+    _JOBS[key] = value  # lint: disable=D4 - single-threaded test helper
+    return next(_IDS)  # lint: disable=D4 - single-threaded test helper

@@ -1,0 +1,13 @@
+"""D4 fixture: module-level shared state mutated without a lock."""
+
+import itertools
+
+_JOBS = {}
+_IDS = itertools.count()
+_TOTAL = 0
+
+def record(key, value):
+    global _TOTAL
+    _JOBS[key] = value
+    _TOTAL += 1
+    return next(_IDS)

@@ -1,0 +1,10 @@
+"""D5 fixture: context-managed span, typed exception handler."""
+
+from repro.obs import trace_span
+
+def convert(data):
+    with trace_span("fixture.convert", size=len(data)):
+        try:
+            return data[::-1]
+        except ValueError:
+            return None

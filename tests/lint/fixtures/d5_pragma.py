@@ -1,0 +1,11 @@
+"""D5 fixture: the d5_trigger violations, suppressed per line."""
+
+from repro.obs import trace_span
+
+def convert(data):
+    span = trace_span("fixture.convert")  # lint: disable=D5 - closed manually below
+    try:
+        return data[::-1]
+    except:  # lint: disable=D5 - fixture
+        span.finish() if hasattr(span, "finish") else None
+        return None

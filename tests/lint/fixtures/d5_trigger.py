@@ -1,0 +1,10 @@
+"""D5 fixture: a leaked span and a bare except."""
+
+from repro.obs import trace_span
+
+def convert(data):
+    span = trace_span("fixture.convert", size=len(data))
+    try:
+        return data[::-1]
+    except:
+        return None

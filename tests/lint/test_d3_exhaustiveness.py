@@ -1,0 +1,94 @@
+"""D3 against synthetic trees: the rule sees the enum, the pin table, and
+every use site at once, so fixtures are built per-test in tmp_path."""
+
+import pytest
+
+from repro.lint import LintConfig, run_lint
+
+pytestmark = pytest.mark.lint
+
+ENUM_OK = """\
+class ExitCode:
+    SUCCESS = "success"
+    TIMEOUT = "timeout"
+"""
+
+TABLE_OK = """\
+from codes import ExitCode
+
+EXIT_STATUS = {
+    ExitCode.SUCCESS: 0,
+    ExitCode.TIMEOUT: 8,
+}
+"""
+
+USES_OK = """\
+from codes import ExitCode
+
+def classify(slow):
+    return ExitCode.TIMEOUT if slow else ExitCode.SUCCESS
+"""
+
+
+def build_tree(tmp_path, enum=ENUM_OK, table=TABLE_OK, uses=USES_OK):
+    (tmp_path / "codes.py").write_text(enum)
+    (tmp_path / "table.py").write_text(table)
+    (tmp_path / "uses.py").write_text(uses)
+    config = LintConfig(options={"D3": {
+        "enum_module": "codes", "status_module": "table",
+        "enum_class": "ExitCode", "status_name": "EXIT_STATUS",
+    }})
+    return [f for f in run_lint([tmp_path], config) if f.rule == "D3"]
+
+
+def test_complete_tree_is_clean(tmp_path):
+    assert build_tree(tmp_path) == []
+
+
+def test_unpinned_member(tmp_path):
+    table = TABLE_OK.replace("    ExitCode.TIMEOUT: 8,\n", "")
+    uses = USES_OK  # TIMEOUT still referenced; only the pin is missing
+    findings = build_tree(tmp_path, table=table, uses=uses)
+    assert any("TIMEOUT has no pinned status" in f.message for f in findings)
+
+
+def test_duplicate_status_value(tmp_path):
+    table = TABLE_OK.replace("ExitCode.TIMEOUT: 8", "ExitCode.TIMEOUT: 0")
+    findings = build_tree(tmp_path, table=table)
+    assert any("reuses status 0" in f.message for f in findings)
+
+
+def test_pin_for_unknown_member(tmp_path):
+    table = TABLE_OK.replace(
+        "    ExitCode.TIMEOUT: 8,\n",
+        "    ExitCode.TIMEOUT: 8,\n    ExitCode.GHOST: 9,\n",
+    )
+    findings = build_tree(tmp_path, table=table)
+    assert any("unknown member ExitCode.GHOST" in f.message for f in findings)
+
+
+def test_never_referenced_member(tmp_path):
+    uses = "from codes import ExitCode\n\nCODE = ExitCode.SUCCESS\n"
+    findings = build_tree(tmp_path, uses=uses)
+    assert any(
+        "TIMEOUT is never produced or consumed" in f.message for f in findings
+    )
+
+
+def test_partial_tree_is_skipped(tmp_path):
+    # Single-file invocations (no enum/table in view) must not false-alarm.
+    (tmp_path / "codes.py").write_text(ENUM_OK)
+    config = LintConfig(options={"D3": {
+        "enum_module": "codes", "status_module": "table",
+    }})
+    assert [f for f in run_lint([tmp_path], config) if f.rule == "D3"] == []
+
+
+def test_shipped_taxonomy_passes_d3():
+    # The real tree: every §6.2 member pinned once and reachable.
+    from pathlib import Path
+
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    assert [f for f in run_lint([root]) if f.rule == "D3"] == []

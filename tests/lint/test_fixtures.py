@@ -1,0 +1,54 @@
+"""The fixture corpus: every rule has a trigger, a clean twin, and a
+pragma-suppressed twin, which keeps rules and pragma parsing honest."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+
+pytestmark = pytest.mark.lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+# D3 is project-wide (needs the enum + pin table); its fixtures live in
+# test_d3_exhaustiveness.py as a synthetic tree.
+PER_MODULE_RULES = ["D1", "D2", "D4", "D5"]
+
+
+def rules_hit(path: Path):
+    return {f.rule for f in run_lint([path])}
+
+
+@pytest.mark.parametrize("rule", PER_MODULE_RULES)
+def test_trigger_fixture_fires(rule):
+    findings = run_lint([FIXTURES / f"{rule.lower()}_trigger.py"])
+    hits = [f for f in findings if f.rule == rule]
+    assert len(hits) >= 2, f"{rule} trigger fixture produced {findings}"
+    # Findings carry real locations.
+    assert all(f.line > 0 and f.message for f in hits)
+
+
+@pytest.mark.parametrize("rule", PER_MODULE_RULES)
+def test_clean_fixture_is_silent(rule):
+    assert rules_hit(FIXTURES / f"{rule.lower()}_clean.py") == set()
+
+
+@pytest.mark.parametrize("rule", PER_MODULE_RULES)
+def test_pragma_fixture_is_suppressed(rule):
+    assert rule not in rules_hit(FIXTURES / f"{rule.lower()}_pragma.py")
+
+
+def test_trigger_fixtures_fire_only_their_own_rule():
+    # Fixtures sit outside the repro package, so *every* per-module rule
+    # applies; a trigger file leaking findings of another rule means the
+    # corpus no longer isolates what it claims to.
+    for rule in PER_MODULE_RULES:
+        assert rules_hit(FIXTURES / f"{rule.lower()}_trigger.py") == {rule}
+
+
+def test_finding_order_is_deterministic():
+    first = run_lint([FIXTURES])
+    second = run_lint([FIXTURES])
+    assert first == second
+    assert first == sorted(first, key=lambda f: (f.path, f.line, f.col, f.rule))

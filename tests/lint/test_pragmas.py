@@ -1,0 +1,47 @@
+"""Pragma parser unit tests (line, file, `all`, prose tails, the window)."""
+
+import pytest
+
+from repro.lint import lint_source, parse_pragmas
+
+pytestmark = pytest.mark.lint
+
+
+def test_line_pragma_with_prose_tail():
+    pragmas = parse_pragmas("x = 0.5  # lint: disable=D1 - telemetry only\n")
+    assert pragmas.suppresses("D1", 1)
+    assert not pragmas.suppresses("D2", 1)
+    assert not pragmas.suppresses("D1", 2)
+
+
+def test_multiple_ids_one_pragma():
+    pragmas = parse_pragmas("y = f()  # lint: disable=D1,D5\n")
+    assert pragmas.suppresses("D1", 1)
+    assert pragmas.suppresses("D5", 1)
+    assert not pragmas.suppresses("D2", 1)
+
+
+def test_disable_all():
+    pragmas = parse_pragmas("z = g()  # lint: disable=all\n")
+    for rule in ("D1", "D2", "D3", "D4", "D5"):
+        assert pragmas.suppresses(rule, 1)
+
+
+def test_file_pragma_inside_window():
+    source = '"""doc"""\n# lint: disable-file=D2\nimport time\n'
+    pragmas = parse_pragmas(source)
+    assert pragmas.suppresses("D2", 3)
+    assert pragmas.suppresses("D2", 999)
+
+
+def test_file_pragma_outside_window_is_ignored():
+    source = "\n" * 12 + "# lint: disable-file=D2\n"
+    assert not parse_pragmas(source).suppresses("D2", 14)
+
+
+def test_pragma_suppression_end_to_end():
+    noisy = "x = time.time()\n"
+    quiet = "x = time.time()  # lint: disable=D2 - fixture\n"
+    prelude = "import time\n"
+    assert {f.rule for f in lint_source(prelude + noisy)} == {"D2"}
+    assert lint_source(prelude + quiet) == []

@@ -1,0 +1,41 @@
+"""The §5.7 wiring: a build with lint findings cannot qualify."""
+
+import pytest
+
+import repro.lint
+from repro.corpus.builder import CorpusFile, corpus_jpeg
+from repro.lint.engine import Finding
+from repro.storage.qualification import qualify_build
+
+pytestmark = pytest.mark.lint
+
+
+def small_corpus():
+    return [CorpusFile("a.jpg", corpus_jpeg(seed=7, height=32, width=32), "jpeg")]
+
+
+def test_clean_tree_qualifies():
+    report = qualify_build(small_corpus(), build_id="clean")
+    assert report.lint_findings == 0
+    assert report.qualified
+    assert report.compressed == 1
+
+
+def test_findings_block_qualification(monkeypatch):
+    finding = Finding("D1", "src/repro/core/model.py", 10, 4,
+                      "float literal 0.5 on the coded path")
+    monkeypatch.setattr(repro.lint, "check_shipped_tree", lambda: [finding])
+    report = qualify_build(small_corpus(), build_id="dirty")
+    assert not report.qualified
+    assert report.lint_findings == 1
+    assert report.failures[0].name == "lint:D1"
+    assert "model.py:10:4" in report.failures[0].reason
+    # The gate short-circuits: no corpus work for a build that cannot ship.
+    assert report.compressed == 0 and report.files_total == 0
+
+
+def test_gate_can_be_bypassed_for_unit_tests(monkeypatch):
+    finding = Finding("D2", "x.py", 1, 0, "ambient entropy")
+    monkeypatch.setattr(repro.lint, "check_shipped_tree", lambda: [finding])
+    report = qualify_build(small_corpus(), build_id="nogate", lint_gate=False)
+    assert report.qualified and report.lint_findings == 0

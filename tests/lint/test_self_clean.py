@@ -1,0 +1,29 @@
+"""Tier-1 gate: the shipped tree must be lint-clean (ISSUE: §5.4 analogue).
+
+A build whose own sources violate D1–D5 cannot qualify; this test is the
+CI face of the same check `storage.qualification.qualify_build` applies.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.lint import check_shipped_tree, run_lint
+
+pytestmark = pytest.mark.lint
+
+PACKAGE_ROOT = Path(repro.__file__).resolve().parent
+
+
+def test_shipped_tree_is_clean():
+    findings = run_lint([PACKAGE_ROOT])
+    assert findings == [], "\n".join(
+        f"{f.location()}: {f.rule} {f.message}" for f in findings
+    )
+
+
+def test_check_shipped_tree_is_clean_and_memoised():
+    assert check_shipped_tree() == []
+    # Second call must serve the memoised copy (same contents, cheap).
+    assert check_shipped_tree() == []

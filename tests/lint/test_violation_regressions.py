@@ -1,0 +1,117 @@
+"""Regression tests for the real D2–D5 violations the first lint run of the
+shipped tree surfaced (the D1 fixed-point regressions live next to the
+model tests in tests/core/test_model.py).
+
+Each test pins the *behavioural* fix, so a revert re-fails here even
+before the static pass catches the pattern again.
+"""
+
+import signal
+import threading
+
+import pytest
+
+import repro.cli as cli
+import repro.core.lepton as lepton_mod
+from repro.core.errors import ExitCode, FormatError
+from repro.core.lepton import LeptonConfig, compress
+from repro.corpus.builder import corpus_jpeg
+from repro.obs import EXIT_STATUS, SIGNAL_EXIT_CODES, exit_code_for_signal
+from repro.storage.backfill import BackfillWorker, Metaserver, UserFile
+from repro.storage.blockserver import Job
+from repro.storage.safety import ShutoffSwitch
+
+
+class TestD4JobIdAllocator:
+    """blockserver: job ids now come from a lock-guarded allocator."""
+
+    def test_concurrent_jobs_get_unique_ids(self):
+        ids = []
+        ids_lock = threading.Lock()
+
+        def spawn():
+            batch = [Job("other", 1.0, 1, 0.0).job_id for _ in range(200)]
+            with ids_lock:
+                ids.extend(batch)
+
+        threads = [threading.Thread(target=spawn) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(ids) == len(set(ids)) == 1600
+
+    def test_ids_monotone_within_a_thread(self):
+        first = Job("other", 1.0, 1, 0.0).job_id
+        second = Job("other", 1.0, 1, 0.0).job_id
+        assert second > first
+
+
+class TestExitCodeProduction:
+    """§6.2: the operational codes are actually produced, not just pinned."""
+
+    def test_signal_map_covers_the_fleet_deaths(self):
+        assert SIGNAL_EXIT_CODES[int(signal.SIGTERM)] is ExitCode.SERVER_SHUTDOWN
+        assert SIGNAL_EXIT_CODES[int(signal.SIGABRT)] is ExitCode.ABORT_SIGNAL
+        assert SIGNAL_EXIT_CODES[int(signal.SIGKILL)] is ExitCode.OOM_KILL
+        assert SIGNAL_EXIT_CODES[int(signal.SIGINT)] is ExitCode.OPERATOR_INTERRUPT
+
+    def test_unknown_signal_counts_as_abort(self):
+        assert exit_code_for_signal(int(signal.SIGSEGV)) is ExitCode.ABORT_SIGNAL
+
+    def test_cli_maps_ctrl_c_to_operator_interrupt(self, monkeypatch, capsys):
+        def interrupted(args, config):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_dispatch", interrupted)
+        status = cli.main(["verify", "-"])
+        capsys.readouterr()
+        assert status == EXIT_STATUS[ExitCode.OPERATOR_INTERRUPT] == 15
+
+    def test_cli_maps_memory_error_to_oom_kill(self, monkeypatch, capsys):
+        def oom(args, config):
+            raise MemoryError
+
+        monkeypatch.setattr(cli, "_dispatch", oom)
+        status = cli.main(["verify", "-"])
+        capsys.readouterr()
+        assert status == EXIT_STATUS[ExitCode.OOM_KILL] == 14
+
+    def test_internal_invariant_breakage_is_impossible_bucket(self, monkeypatch):
+        def broken_encoder(*args, **kwargs):
+            raise FormatError("container writer invariant violated")
+
+        monkeypatch.setattr(lepton_mod, "encode_jpeg", broken_encoder)
+        result = compress(corpus_jpeg(seed=3, height=32, width=32))
+        assert result.exit_code is ExitCode.IMPOSSIBLE
+        assert "FormatError" in result.detail
+        assert result.format == "deflate"  # the fallback still stores bytes
+
+
+class TestBackfillShutoffDrain:
+    """§5.7: a worker seeing the kill file drains instead of converting."""
+
+    def make_worker(self, shutoff):
+        users = {1: [UserFile("cat.jpg", corpus_jpeg(seed=5, height=32, width=32))]}
+        meta = Metaserver(users, n_shards=1)
+        uploads = {}
+        worker = BackfillWorker(meta, uploads.__setitem__, LeptonConfig(),
+                                shutoff=shutoff)
+        return worker, uploads
+
+    def test_engaged_shutoff_drains_the_shard(self, tmp_path):
+        shutoff = ShutoffSwitch(directory=str(tmp_path))
+        shutoff.engage()
+        worker, uploads = self.make_worker(shutoff)
+        worker.process_shard(0)
+        assert uploads == {}
+        assert worker.stats.chunks_processed == 0
+        assert worker.stats.exit_codes == {ExitCode.SERVER_SHUTDOWN: 1}
+
+    def test_released_shutoff_processes_normally(self, tmp_path):
+        shutoff = ShutoffSwitch(directory=str(tmp_path))
+        worker, uploads = self.make_worker(shutoff)
+        worker.process_shard(0)
+        assert worker.stats.chunks_processed == 1
+        assert len(uploads) == 1
+        assert ExitCode.SERVER_SHUTDOWN not in worker.stats.exit_codes

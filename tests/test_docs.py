@@ -94,6 +94,29 @@ def test_every_emitted_metric_is_documented(small_jpeg):
     )
 
 
+# -- the lint-rule contract ------------------------------------------------
+
+
+def test_every_lint_rule_is_documented_and_vice_versa():
+    """docs/lint.md and the rule registry must agree in both directions:
+    a registered rule without documentation is unexplainable to whoever
+    hits it, and a documented id without a rule is a stale promise."""
+    from repro.lint import all_rules
+
+    contract = (REPO / "docs" / "lint.md").read_text()
+    documented = set(re.findall(r"^### (D\d+) —", contract, re.MULTILINE))
+    registered = {rule.id for rule in all_rules()}
+    assert registered, "rule registry is empty"
+    assert documented == registered, (
+        f"undocumented rules: {sorted(registered - documented)}; "
+        f"documented but unregistered: {sorted(documented - registered)}"
+    )
+    for rule in all_rules():
+        assert rule.name in contract, (
+            f"rule {rule.id}'s name {rule.name!r} missing from docs/lint.md"
+        )
+
+
 def test_documented_codec_metrics_are_emitted(small_jpeg):
     """The reverse direction, for the core codec table: the contract's
     headline metrics really exist after one compress+decompress."""
