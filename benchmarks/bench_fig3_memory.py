@@ -6,6 +6,11 @@ hold the whole image (or more); generic codecs are tiny.  We measure peak
 *allocated* memory with tracemalloc — absolute numbers are Python-object
 sizes, but the orderings (streaming Lepton decode < whole-file tools;
 encode ≈ whole-file for everyone, §4.2) are the reproduced shape.
+
+The streaming decode measured here is the same ``DecodeSession`` row
+window every entry point uses: coefficients live in a sliding band of
+block rows, so the decode working set scales with image width, not area
+(tests/core/test_session.py pins this with a tracemalloc ratio).
 """
 
 import tracemalloc

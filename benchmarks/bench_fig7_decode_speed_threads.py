@@ -5,6 +5,10 @@ reaching ~250 Mbit/s; the thread-count steps are visible as bands.  We
 report the *effective* multithreaded wall clock (max over independent
 segments — see ``decode_lepton_timed``; the GIL hides real threading) and
 assert the per-thread scaling on the larger files.
+
+The timings come from the streaming ``DecodeSession``'s per-segment obs
+spans (``span.lepton.session.decode.step``), so this bench measures the
+same row-bounded pipeline every decode entry point runs.
 """
 
 import pytest

@@ -6,6 +6,11 @@ bottleneck shifts to the JPEG Huffman decoder" — which the Lepton encoder
 must run serially (the decoder escapes this via handover words).  We
 measure the effective wall clock from ``encode_jpeg_timed``, whose serial
 head is exactly that Huffman decode + verification pass.
+
+``encode_jpeg_timed`` reads its stage timings from the ``EncodeSession``
+obs spans (parse / scan_decode / verify_index serially, the max over
+``code_segment`` spans in parallel), so the timed and untimed encoders
+are one pipeline with one policy — the payloads are byte-identical.
 """
 
 from _harness import emit

@@ -16,7 +16,8 @@ from repro.core.lepton import (
     FORMAT_LEPTON,
     LeptonConfig,
     compress,
-    decompress,
+    compress_stream,
+    decompress_chunks,
     decompress_result,
     roundtrip_check,
 )
@@ -36,12 +37,47 @@ def _read(path: str) -> bytes:
         return handle.read()
 
 
-def _write(path: str, data: bytes) -> None:
+def _read_chunks(path: str, size: int = 1 << 20):
+    """Yield the input in bounded chunks ('-' streams stdin)."""
     if path == "-":
-        sys.stdout.buffer.write(data)
-    else:
-        with open(path, "wb") as handle:
-            handle.write(data)
+        while True:
+            chunk = sys.stdin.buffer.read(size)
+            if not chunk:
+                return
+            yield chunk
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(size)
+            if not chunk:
+                return
+            yield chunk
+
+
+class _Sink:
+    """Lazily-opened output writer.
+
+    The destination is only created once the first piece arrives, so a
+    reject with ``--no-fallback`` — which yields nothing — leaves no
+    empty output file behind.  ``path=None`` just counts bytes.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self.bytes_written = 0
+        self._handle = None
+
+    def write(self, piece: bytes) -> None:
+        self.bytes_written += len(piece)
+        if self.path is None:
+            return
+        if self._handle is None:
+            self._handle = (sys.stdout.buffer if self.path == "-"
+                            else open(self.path, "wb"))
+        self._handle.write(piece)
+
+    def close(self) -> None:
+        if self._handle is not None and self.path != "-":
+            self._handle.close()
 
 
 def _qualify(directory: str, config: LeptonConfig, quiet: bool) -> int:
@@ -100,38 +136,62 @@ def _dispatch(args, config: LeptonConfig) -> int:
     if args.command == "lint":
         return _lint(args.input, args.as_json, args.quiet)
 
-    data = _read(args.input)
-
     if args.command == "stats":
-        return _stats_command(data, config)
+        return _stats_command(_read(args.input), config)
 
     if args.command == "compress":
-        result = compress(data, config)
-        if result.payload is None:
+        # Streams payload chunks to the sink as the session emits them;
+        # the CompressionResult is the generator's return value.
+        sink = _Sink(args.output)
+        stream = compress_stream(_read_chunks(args.input), config)
+        result = None
+        try:
+            while result is None:
+                try:
+                    sink.write(next(stream))
+                except StopIteration as stop:
+                    result = stop.value
+        finally:
+            sink.close()
+        if result.format is None:
             print(f"rejected: {result.exit_code.value} ({result.detail})",
                   file=sys.stderr)
             return EXIT_STATUS[result.exit_code]
-        if args.output:
-            _write(args.output, result.payload)
         if not args.quiet:
+            saved = (1.0 - sink.bytes_written / result.input_size
+                     if result.input_size else 0.0)
             print(
                 f"{result.exit_code.value}: {result.input_size} -> "
-                f"{result.output_size} bytes "
-                f"({100 * result.savings_fraction:.1f}% saved, {result.format})",
+                f"{sink.bytes_written} bytes "
+                f"({100 * saved:.1f}% saved, {result.format})",
                 file=sys.stderr,
             )
         return EXIT_STATUS[result.exit_code]
 
     if args.command == "decompress":
-        output = decompress(data)
-        if args.output:
-            _write(args.output, output)
+        # True pipe: output pieces are written before the final input
+        # chunk is read (the Figure-1 time-to-first-byte path).
+        sink = _Sink(args.output)
+        bytes_in = 0
+
+        def _counted():
+            nonlocal bytes_in
+            for chunk in _read_chunks(args.input):
+                bytes_in += len(chunk)
+                yield chunk
+
+        try:
+            for piece in decompress_chunks(_counted()):
+                sink.write(piece)
+        finally:
+            sink.close()
         if not args.quiet:
-            print(f"decoded {len(data)} -> {len(output)} bytes", file=sys.stderr)
+            print(f"decoded {bytes_in} -> {sink.bytes_written} bytes",
+                  file=sys.stderr)
         return 0
 
     # verify: the admission gate, end to end.
-    result = roundtrip_check(data, config)
+    result = roundtrip_check(_read(args.input), config)
     status = "ok" if result.ok else f"fell back ({result.exit_code.value})"
     if not args.quiet:
         print(f"verify: {status}", file=sys.stderr)

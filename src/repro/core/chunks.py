@@ -15,17 +15,18 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.core.bool_coder import BoolEncoder
-from repro.core.coefcoder import SegmentCodec
 from repro.core.format import LeptonFile, SegmentRecord, write_container
-from repro.core.handover import HandoverWord
 from repro.core.lepton import (
     FORMAT_DEFLATE,
     FORMAT_LEPTON,
     LeptonConfig,
     decompress,
 )
-from repro.core.encoder import RoundtripMismatch, verify_and_index
+from repro.core.session import (
+    RoundtripMismatch,
+    code_segment_records,
+    verify_and_index,
+)
 from repro.core.segments import choose_thread_count, plan_segments_range
 from repro.jpeg.errors import JpegError
 from repro.jpeg.parser import parse_jpeg
@@ -111,8 +112,11 @@ def _compress_jpeg_chunked(data, ranges, config) -> Optional[List[StoredChunk]]:
         if scan_hi > scan_lo:
             # MCU whose encoding covers byte scan_lo: the last MCU starting
             # at or before it.  bisect_right-1 also skips zero-length MCU
-            # starts that share the same byte.
-            m_a = max(0, bisect_right(offsets, scan_lo) - 1)
+            # starts that share the same byte.  Clamp to the last real MCU:
+            # a window holding only the final pad byte (scan_lo >= the
+            # end-of-scan offset) is produced by re-encoding the last MCU
+            # with pad_final and trimming via scan_skip.
+            m_a = min(max(0, bisect_right(offsets, scan_lo) - 1), mcu_count - 1)
             if scan_hi >= scan_len:
                 m_b = mcu_count
                 pad_final = True
@@ -121,20 +125,10 @@ def _compress_jpeg_chunked(data, ranges, config) -> Optional[List[StoredChunk]]:
                 m_b = min(max(m_b, m_a + 1), mcu_count)
             scan_skip = scan_lo - offsets[m_a]
             seg_ranges = plan_segments_range(m_a, m_b, img.frame.mcus_x, threads)
-            for mcu_start, mcu_end in seg_ranges:
-                codec = SegmentCodec(
-                    img.frame, img.quant_tables, img.coefficients, config.model
-                )
-                encoder = BoolEncoder()
-                codec.encode(encoder, mcu_start, mcu_end)
-                segments.append(
-                    SegmentRecord(
-                        mcu_start,
-                        mcu_end,
-                        HandoverWord.from_position(positions[mcu_start]),
-                        encoder.finish(),
-                    )
-                )
+            # The one segment-coding loop (session.py); D6 forbids a fork here.
+            segments = code_segment_records(
+                img, seg_ranges, positions, config.model
+            )
 
         lepton = LeptonFile(
             jpeg_header=img.header_bytes,

@@ -1,69 +1,19 @@
-"""Lepton → JPEG decompression (§3.4): parallel, streaming, byte-exact.
+"""Lepton → JPEG decompression entry points (§3.4).
 
-Decoding is two stages per thread segment: arithmetic-decode the
-coefficients against a fresh model, then Huffman-encode them resuming from
-the segment's handover word.  Segment outputs concatenate directly — each
-writer starts mid-byte with the bits the previous segment left unfinished —
-and the decoder can stream bytes as soon as the first segment completes
-(time-to-first-byte, Figure 1).
+All four variants are thin adapters over
+:class:`repro.core.session.DecodeSession` — the one streaming, row-bounded
+pipeline: arithmetic-decode one MCU row band into a sliding
+:class:`~repro.core.rowbuffer.RowWindow`, Huffman re-encode it resuming
+from the segment's handover word, emit, recycle.  Segment outputs
+concatenate directly — each writer starts mid-byte with the bits the
+previous segment left unfinished — and the decoder streams bytes as soon
+as the header arrives (time-to-first-byte, Figure 1).
 """
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional
 
-import numpy as np
-
-from repro.core.bool_coder import BoolDecoder
-from repro.core.coefcoder import SegmentCodec
-from repro.core.errors import FormatError
-from repro.core.format import LeptonFile, read_container
 from repro.core.model import ModelConfig
-from repro.jpeg.parser import JpegImage, parse_jpeg
-from repro.jpeg.scan_encode import ScanEncoder
-
-
-def _rebuild_image(lepton: LeptonFile) -> JpegImage:
-    """Reconstruct parse state from the stored verbatim JPEG header.
-
-    Admitted containers are decoded regardless of the production ingest
-    policy, so the CMYK-capable parse path is always used here.
-    """
-    img = parse_jpeg(lepton.jpeg_header, max_components=4)
-    img.pad_bit = lepton.pad_bit
-    img.rst_count = lepton.rst_count
-    img.coefficients = [
-        np.zeros((c.blocks_h, c.blocks_w, 64), dtype=np.int32)
-        for c in img.frame.components
-    ]
-    return img
-
-
-def _decode_segment(img: JpegImage, lepton: LeptonFile, index: int,
-                    model_config: ModelConfig) -> None:
-    """Stage 1 for one segment: arithmetic decode into the shared arrays."""
-    seg = lepton.segments[index]
-    codec = SegmentCodec(img.frame, img.quant_tables, img.coefficients, model_config)
-    codec.decode(BoolDecoder(seg.data), seg.mcu_start, seg.mcu_end)
-
-
-def _huffman_segment(img: JpegImage, lepton: LeptonFile, index: int) -> bytes:
-    """Stage 2 for one segment: Huffman re-encode from its handover word."""
-    seg = lepton.segments[index]
-    handover = seg.handover
-    encoder = ScanEncoder(
-        img,
-        img.coefficients,
-        start_mcu=seg.mcu_start,
-        dc_pred=handover.dc_pred,
-        rst_emitted=handover.rst_emitted,
-        partial_byte=handover.partial_byte,
-        partial_bits=handover.partial_bits,
-    )
-    encoder.encode_to(seg.mcu_end)
-    is_last = index == len(lepton.segments) - 1
-    if is_last and lepton.pad_final:
-        return encoder.finish()
-    return encoder.emitted_bytes()
+from repro.core.session import DecodeSession
 
 
 def decode_lepton_stream(
@@ -77,60 +27,9 @@ def decode_lepton_stream(
     decoding happens; each segment's scan bytes follow as that segment
     completes.  Total output always equals ``output_size`` exactly.
     """
-    model_config = model_config or ModelConfig()
-    lepton = read_container(payload)
-    produced = 0
-    if lepton.prefix_length:
-        prefix = lepton.prefix
-        if len(prefix) != lepton.prefix_length:
-            raise FormatError("prefix slice outside stored JPEG header")
-        produced += len(prefix)
-        yield prefix
-
-    if lepton.segments:
-        img = _rebuild_image(lepton)
-        if parallel and len(lepton.segments) > 1:
-            # Arithmetic decoding of segments is mutually independent; each
-            # writes a disjoint MCU range of the shared coefficient arrays.
-            with ThreadPoolExecutor(max_workers=len(lepton.segments)) as pool:
-                futures = [
-                    pool.submit(_decode_segment, img, lepton, i, model_config)
-                    for i in range(len(lepton.segments))
-                ]
-                scan_parts: List[bytes] = []
-                for i, future in enumerate(futures):
-                    future.result()
-                    scan_parts.append(_huffman_segment(img, lepton, i))
-        else:
-            scan_parts = []
-            for i in range(len(lepton.segments)):
-                _decode_segment(img, lepton, i, model_config)
-                scan_parts.append(_huffman_segment(img, lepton, i))
-
-        # Trim the reassembled scan to the container's window (chunking).
-        position = 0
-        emitted = 0
-        for part in scan_parts:
-            lo = max(lepton.scan_skip - position, 0)
-            hi = min(len(part), lepton.scan_skip + lepton.scan_take - position)
-            if hi > lo:
-                piece = part[lo:hi]
-                emitted += len(piece)
-                produced += len(piece)
-                yield piece
-            position += len(part)
-        if emitted != lepton.scan_take:
-            raise FormatError(
-                f"scan window produced {emitted} bytes, expected {lepton.scan_take}"
-            )
-
-    if lepton.trailer:
-        produced += len(lepton.trailer)
-        yield lepton.trailer
-    if produced != lepton.output_size:
-        raise FormatError(
-            f"decoded {produced} bytes, container promised {lepton.output_size}"
-        )
+    session = DecodeSession(model_config=model_config, parallel=parallel)
+    yield from session.write(payload)
+    yield from session.finish()
 
 
 def decode_lepton(
@@ -149,99 +48,15 @@ def decode_lepton_bounded(
 ) -> Iterator[bytes]:
     """Row-by-row streaming decode with a bounded working set (§1, §4.2).
 
-    Instead of materialising full coefficient arrays, each segment keeps a
-    sliding :class:`~repro.core.rowbuffer.RowWindow` of a few block rows:
-    one MCU row is arithmetic-decoded, immediately Huffman-encoded and
-    yielded, then the rows it no longer needs are recycled.  This is the
-    production memory discipline ("Lepton must work row-by-row ... instead
-    of decoding the entire file into RAM"), with working set proportional
-    to image *width*, not area.  Segments run sequentially (this is the
-    footprint-over-parallelism mode, like the paper's 24-MiB single-thread
-    figure).
+    The session's default discipline, surfaced: segments run sequentially
+    (this is the footprint-over-parallelism mode, like the paper's 24-MiB
+    single-thread figure) and ``window_rows`` caps the retained block rows,
+    so the working set is proportional to image *width*, not area.
     """
-    from repro.core.rowbuffer import RowWindow
-
-    model_config = model_config or ModelConfig()
-    lepton = read_container(payload)
-    produced = 0
-    if lepton.prefix_length:
-        prefix = lepton.prefix
-        produced += len(prefix)
-        yield prefix
-
-    scan_emitted = 0
-    scan_position = 0
-    if lepton.segments:
-        img = parse_jpeg(lepton.jpeg_header, max_components=4)
-        img.pad_bit = lepton.pad_bit
-        img.rst_count = lepton.rst_count
-        frame = img.frame
-        if window_rows is None:
-            window_rows = 2 * frame.max_v + 2
-        for index, seg in enumerate(lepton.segments):
-            windows = [
-                RowWindow(c.blocks_h, c.blocks_w,
-                          window=window_rows * (c.v if frame.interleaved else 1))
-                for c in frame.components
-            ]
-            img.coefficients = windows
-            codec = SegmentCodec(frame, img.quant_tables, windows, model_config)
-            bool_dec = BoolDecoder(seg.data)
-            handover = seg.handover
-            writer = ScanEncoder(
-                img, windows,
-                start_mcu=seg.mcu_start,
-                dc_pred=handover.dc_pred,
-                rst_emitted=handover.rst_emitted,
-                partial_byte=handover.partial_byte,
-                partial_bits=handover.partial_bits,
-            )
-            is_last_segment = index == len(lepton.segments) - 1
-            # Slide each window to the segment's first block row.
-            start_row = seg.mcu_start // frame.mcus_x
-            for ci, comp in enumerate(frame.components):
-                factor = comp.v if frame.interleaved else 1
-                windows[ci].release_below(start_row * factor)
-            mcu = seg.mcu_start
-            while mcu < seg.mcu_end:
-                row_end = min(((mcu // frame.mcus_x) + 1) * frame.mcus_x,
-                              seg.mcu_end)
-                codec.decode(bool_dec, mcu, row_end, seg_start=seg.mcu_start)
-                writer.encode_to(row_end)
-                if row_end == seg.mcu_end and is_last_segment and lepton.pad_final:
-                    writer.writer.pad_to_byte(img.pad_bit or 0)
-                piece = writer.drain()
-                # Trim to the container's scan window (chunk support).
-                lo = max(lepton.scan_skip - scan_position, 0)
-                hi = min(len(piece),
-                         lepton.scan_skip + lepton.scan_take - scan_position)
-                if hi > lo:
-                    out = piece[lo:hi]
-                    scan_emitted += len(out)
-                    produced += len(out)
-                    yield out
-                scan_position += len(piece)
-                # Recycle rows the next MCU row no longer needs: keep the
-                # final block row of the row just finished (the neighbour
-                # context), drop everything before it.
-                finished_row = (row_end - 1) // frame.mcus_x
-                for ci, comp in enumerate(frame.components):
-                    factor = comp.v if frame.interleaved else 1
-                    windows[ci].release_below(finished_row * factor + factor - 1)
-                mcu = row_end
-        if scan_emitted != lepton.scan_take:
-            raise FormatError(
-                f"bounded decode produced {scan_emitted} scan bytes, "
-                f"expected {lepton.scan_take}"
-            )
-
-    if lepton.trailer:
-        produced += len(lepton.trailer)
-        yield lepton.trailer
-    if produced != lepton.output_size:
-        raise FormatError(
-            f"decoded {produced} bytes, container promised {lepton.output_size}"
-        )
+    session = DecodeSession(model_config=model_config, parallel=False,
+                            window_rows=window_rows)
+    yield from session.write(payload)
+    yield from session.finish()
 
 
 def decode_lepton_timed(
@@ -250,42 +65,19 @@ def decode_lepton_timed(
 ) -> "tuple[bytes, float, float]":
     """Decode while measuring the *effective* multithreaded wall clock.
 
-    Returns ``(data, effective_seconds, serial_seconds)``.  Segments are
-    decoded sequentially with per-segment timing; the effective time is
-    ``max`` over segments (they are fully independent — that is the whole
-    point of the format) plus the serial container work.  This simulates
-    the wall clock of the paper's thread-per-segment decode, which
-    Python's GIL hides when the segments are pure-Python CPU work; the
-    benchmarks document this substitution.
+    Returns ``(data, effective_seconds, serial_seconds)``, both read from
+    the session's obs spans.  Segments are decoded sequentially with
+    per-segment timing; the effective time is ``max`` over segments (they
+    are fully independent — that is the whole point of the format) plus
+    the serial container work.  This simulates the wall clock of the
+    paper's thread-per-segment decode, which Python's GIL hides when the
+    segments are pure-Python CPU work; the benchmarks document this
+    substitution.
     """
-    import time
-
-    model_config = model_config or ModelConfig()
-    lepton = read_container(payload)
-    serial_start = time.perf_counter()  # lint: disable=D2 - the measurement itself
-    pieces: List[bytes] = []
-    if lepton.prefix_length:
-        pieces.append(lepton.prefix)
-    segment_seconds: List[float] = []
-    scan_parts: List[bytes] = []
-    if lepton.segments:
-        img = _rebuild_image(lepton)
-        for i in range(len(lepton.segments)):
-            seg_start = time.perf_counter()  # lint: disable=D2 - the measurement itself
-            _decode_segment(img, lepton, i, model_config)
-            scan_parts.append(_huffman_segment(img, lepton, i))
-            segment_seconds.append(time.perf_counter() - seg_start)  # lint: disable=D2 - the measurement itself
-        position = 0
-        for part in scan_parts:
-            lo = max(lepton.scan_skip - position, 0)
-            hi = min(len(part), lepton.scan_skip + lepton.scan_take - position)
-            if hi > lo:
-                pieces.append(part[lo:hi])
-            position += len(part)
-    if lepton.trailer:
-        pieces.append(lepton.trailer)
-    serial_seconds = time.perf_counter() - serial_start  # lint: disable=D2 - the measurement itself
-    effective = serial_seconds - sum(segment_seconds) + (
-        max(segment_seconds) if segment_seconds else 0.0
+    session = DecodeSession(model_config=model_config, parallel=False)
+    data = b"".join([*session.write(payload), *session.finish()])
+    serial_seconds = session.wall_seconds
+    effective = serial_seconds - sum(session.segment_seconds) + (
+        max(session.segment_seconds, default=0.0)
     )
-    return b"".join(pieces), effective, serial_seconds
+    return data, effective, serial_seconds

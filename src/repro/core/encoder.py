@@ -1,94 +1,37 @@
-"""JPEG → Lepton compression (§3).
+"""JPEG → Lepton compression entry points (§3).
 
-The encoder parses the JPEG, Huffman-decodes the scan into coefficients,
-*verifies* that re-encoding reproduces the original scan byte-for-byte (the
-production admission rule of §5.7 — a file that fails this check is never
-stored as Lepton), then arithmetic-codes each thread segment against a
-fresh probability model and assembles the container.
+The pipeline itself — parse, Huffman scan decode, the §5.7 round-trip
+admission check, segment coding, container assembly — lives in
+:class:`repro.core.session.EncodeSession`; this module is the thin
+whole-buffer adapter layer over it, plus the Figure-4 Huffman accounting
+helper.  Both entry points run the *same* session, so they enforce the
+same CMYK policy, memory budgets and deadline — the ``_timed`` variant of
+earlier builds forked the codec loop and silently dropped those checks.
 """
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from repro.core.bool_coder import BoolEncoder
-from repro.core.coefcoder import SegmentCodec
-from repro.core.errors import (
-    ExitCode,
-    LeptonError,
-    MemoryLimitExceeded,
-    TimeoutExceeded,
-)
-from repro.core.format import LeptonFile, SegmentRecord, write_container
-from repro.core.handover import HandoverWord
 from repro.core.model import ModelConfig
-from repro.core.segments import choose_thread_count, plan_segments
-from repro.jpeg.parser import JpegImage, parse_jpeg
-from repro.jpeg.scan_decode import decode_scan
-from repro.jpeg.scan_encode import encode_scan
-from repro.obs import trace_span
+from repro.core.session import (
+    EncodeSession,
+    EncodeStats,
+    RoundtripMismatch,
+    estimate_decode_memory,
+    estimate_encode_memory,
+    verify_and_index,
+)
+from repro.jpeg.parser import JpegImage
 
-
-class RoundtripMismatch(LeptonError):
-    """Huffman re-encode did not reproduce the original scan (§5.7).
-
-    Typically a mid-scan corruption (§A.3) that the Lepton format cannot
-    represent; the caller falls back to Deflate.
-    """
-
-
-@dataclass
-class EncodeStats:
-    """Measurements collected during one compression."""
-
-    input_size: int
-    output_size: int = 0
-    thread_count: int = 0
-    segment_sizes: List[int] = field(default_factory=list)
-    # Arithmetic-coded information content per component category (bits).
-    bit_costs: Dict[str, float] = field(default_factory=dict)
-    # Original Huffman bits per category (for the Figure-4 breakdown).
-    original_bits: Dict[str, float] = field(default_factory=dict)
-    model_bins: int = 0
-    encode_seconds: float = 0.0
-
-    @property
-    def savings_fraction(self) -> float:
-        if self.input_size == 0:
-            return 0.0
-        return 1.0 - self.output_size / self.input_size
-
-
-def estimate_decode_memory(img: JpegImage, threads: int) -> int:
-    """Bytes of working set a decode of this file needs.
-
-    Coefficient arrays dominate; each thread duplicates the model (§4.2:
-    24 MiB single-threaded, 39 MiB at p99 multithreaded in production).
-    """
-    coeff_bytes = sum(c.blocks_w * c.blocks_h * 64 * 4 for c in img.frame.components)
-    nnz_bytes = sum(c.blocks_w * c.blocks_h * 4 for c in img.frame.components)
-    model_bytes = threads * (1 << 20)  # per-thread model + coder buffers
-    return coeff_bytes + nnz_bytes + model_bytes + len(img.scan_data)
-
-
-def estimate_encode_memory(img: JpegImage, threads: int) -> int:
-    """Encoding additionally retains the whole file and position index."""
-    positions_bytes = img.frame.mcu_count * 64
-    return estimate_decode_memory(img, threads) + img.total_size + positions_bytes
-
-
-def verify_and_index(img: JpegImage):
-    """Round-trip the scan; returns per-MCU positions or raises.
-
-    This single pass provides both the admission guarantee (§5.7) and the
-    handover-word index used for thread segments and chunk boundaries.
-    """
-    scan_bytes, positions = encode_scan(img, record_positions=True)
-    if scan_bytes != img.scan_data:
-        raise RoundtripMismatch(
-            f"scan re-encode mismatch: {len(scan_bytes)} vs {len(img.scan_data)} bytes"
-        )
-    return positions
+__all__ = [
+    "EncodeStats",
+    "RoundtripMismatch",
+    "encode_jpeg",
+    "encode_jpeg_timed",
+    "estimate_decode_memory",
+    "estimate_encode_memory",
+    "huffman_bit_breakdown",
+    "verify_and_index",
+]
 
 
 def encode_jpeg(
@@ -108,136 +51,53 @@ def encode_jpeg(
     families on rejection; :func:`repro.core.lepton.compress` maps them to
     §6.2 exit codes and the Deflate fallback.
     """
-    start_time = time.monotonic()  # lint: disable=D2 - telemetry only
-    model_config = model_config or ModelConfig()
-    with trace_span("lepton.encode.parse"):
-        img = parse_jpeg(data, max_components=4 if allow_cmyk else 3)
-    with trace_span("lepton.encode.scan_decode"):
-        decode_scan(img)
-    with trace_span("lepton.encode.verify_index"):
-        positions = verify_and_index(img)
-
-    thread_count = threads if threads is not None else choose_thread_count(len(data))
-    frame = img.frame
-    seg_ranges = plan_segments(frame.mcus_y, frame.mcus_x, thread_count)
-
-    if decode_memory_limit is not None:
-        needed = estimate_decode_memory(img, len(seg_ranges))
-        if needed > decode_memory_limit:
-            raise MemoryLimitExceeded(
-                f"decode would need {needed} bytes > limit {decode_memory_limit}",
-                ExitCode.DECODE_MEMORY_EXCEEDED,
-            )
-    if encode_memory_limit is not None:
-        needed = estimate_encode_memory(img, len(seg_ranges))
-        if needed > encode_memory_limit:
-            raise MemoryLimitExceeded(
-                f"encode would need {needed} bytes > limit {encode_memory_limit}",
-                ExitCode.ENCODE_MEMORY_EXCEEDED,
-            )
-
-    stats = EncodeStats(input_size=len(data), thread_count=len(seg_ranges))
-    segments: List[SegmentRecord] = []
-    bit_costs: Dict[str, float] = {}
-    model_bins = 0
-    for segment_index, (mcu_start, mcu_end) in enumerate(seg_ranges):
-        # Wall-clock by definition (§6.6); can only reject, never recode.
-        if deadline is not None and time.monotonic() > deadline:  # lint: disable=D2
-            raise TimeoutExceeded("encode exceeded its deadline")
-        # Model construction and boolean coding are one interleaved stage:
-        # every coded bit consults the adaptive bins it just updated.
-        with trace_span("lepton.encode.code_segment", segment=segment_index):
-            codec = SegmentCodec(frame, img.quant_tables, img.coefficients, model_config)
-            encoder = BoolEncoder()
-            codec.encode(encoder, mcu_start, mcu_end)
-            coded = encoder.finish()
-        handover = HandoverWord.from_position(positions[mcu_start])
-        segments.append(SegmentRecord(mcu_start, mcu_end, handover, coded))
-        stats.segment_sizes.append(len(coded))
-        for category, bits in codec.model.bit_costs.items():
-            bit_costs[category] = bit_costs.get(category, 0.0) + bits
-        model_bins += codec.model.bin_count
-
-    lepton = LeptonFile(
-        jpeg_header=img.header_bytes,
-        pad_bit=img.pad_bit or 0,
-        rst_count=img.rst_count,
-        output_size=len(data),
-        prefix_offset=0,
-        prefix_length=len(img.header_bytes),
-        trailer=img.trailer_bytes,
-        scan_skip=0,
-        scan_take=len(img.scan_data),
-        pad_final=True,
-        segments=segments,
+    session = EncodeSession(
+        model_config=model_config,
+        threads=threads,
+        decode_memory_limit=decode_memory_limit,
+        encode_memory_limit=encode_memory_limit,
+        deadline=deadline,
+        interleave_slice=interleave_slice,
+        allow_cmyk=allow_cmyk,
     )
-    with trace_span("lepton.encode.container"):
-        payload = write_container(lepton, interleave_slice=interleave_slice)
-    stats.output_size = len(payload)
-    stats.bit_costs = bit_costs
-    stats.model_bins = model_bins
-    stats.encode_seconds = time.monotonic() - start_time  # lint: disable=D2
+    session.write(data)
+    payload = b"".join(session.finish())
     if collect_breakdown:
-        stats.original_bits = huffman_bit_breakdown(img)
-    return payload, stats
+        session.stats.original_bits = huffman_bit_breakdown(session.image)
+    return payload, session.stats
 
 
 def encode_jpeg_timed(
     data: bytes,
     threads: Optional[int] = None,
     model_config: Optional[ModelConfig] = None,
+    decode_memory_limit: Optional[int] = None,
+    encode_memory_limit: Optional[int] = None,
+    deadline: Optional[float] = None,
+    allow_cmyk: bool = False,
 ) -> "tuple[bytes, float, float]":
     """Encode while measuring the *effective* multithreaded wall clock.
 
-    Returns ``(payload, effective_seconds, serial_seconds)``.  Mirrors
-    :func:`repro.core.decoder.decode_lepton_timed`: per-segment arithmetic
-    coding is independent (parallel in production), but parsing and the
-    Huffman decode of the user's original scan are inherently serial —
-    "the Lepton encoder must decode the original JPEG serially" (§5.4),
-    which is exactly why Figure 8 plateaus between 4 and 8 threads.
+    Returns ``(payload, effective_seconds, serial_seconds)``, with both
+    timings read from the session's per-stage obs spans.  Per-segment
+    arithmetic coding is independent (parallel in production), but parsing
+    and the Huffman decode of the user's original scan are inherently
+    serial — "the Lepton encoder must decode the original JPEG serially"
+    (§5.4), which is exactly why Figure 8 plateaus between 4 and 8 threads.
     """
-    model_config = model_config or ModelConfig()
-    serial_t0 = time.perf_counter()  # lint: disable=D2 - the measurement itself
-    img = parse_jpeg(data)
-    decode_scan(img)
-    positions = verify_and_index(img)
-    thread_count = threads if threads is not None else choose_thread_count(len(data))
-    frame = img.frame
-    seg_ranges = plan_segments(frame.mcus_y, frame.mcus_x, thread_count)
-    serial_head = time.perf_counter() - serial_t0  # lint: disable=D2 - the measurement itself
-
-    segments: List[SegmentRecord] = []
-    segment_seconds: List[float] = []
-    for mcu_start, mcu_end in seg_ranges:
-        seg_t0 = time.perf_counter()  # lint: disable=D2 - the measurement itself
-        codec = SegmentCodec(frame, img.quant_tables, img.coefficients, model_config)
-        encoder = BoolEncoder()
-        codec.encode(encoder, mcu_start, mcu_end)
-        coded = encoder.finish()
-        segment_seconds.append(time.perf_counter() - seg_t0)  # lint: disable=D2 - the measurement itself
-        segments.append(
-            SegmentRecord(mcu_start, mcu_end,
-                          HandoverWord.from_position(positions[mcu_start]), coded)
-        )
-
-    tail_t0 = time.perf_counter()  # lint: disable=D2 - the measurement itself
-    lepton = LeptonFile(
-        jpeg_header=img.header_bytes,
-        pad_bit=img.pad_bit or 0,
-        rst_count=img.rst_count,
-        output_size=len(data),
-        prefix_offset=0,
-        prefix_length=len(img.header_bytes),
-        trailer=img.trailer_bytes,
-        scan_skip=0,
-        scan_take=len(img.scan_data),
-        pad_final=True,
-        segments=segments,
+    session = EncodeSession(
+        model_config=model_config,
+        threads=threads,
+        decode_memory_limit=decode_memory_limit,
+        encode_memory_limit=encode_memory_limit,
+        deadline=deadline,
+        allow_cmyk=allow_cmyk,
     )
-    payload = write_container(lepton)
-    serial_tail = time.perf_counter() - tail_t0  # lint: disable=D2 - the measurement itself
-    serial_total = serial_head + sum(segment_seconds) + serial_tail
-    effective = serial_head + max(segment_seconds, default=0.0) + serial_tail
+    session.write(data)
+    payload = b"".join(session.finish())
+    serial_overhead = sum(session.stage_seconds.values())
+    serial_total = serial_overhead + sum(session.segment_seconds)
+    effective = serial_overhead + max(session.segment_seconds, default=0.0)
     return payload, effective, serial_total
 
 

@@ -25,7 +25,7 @@ chunks), and one Huffman handover word per thread segment.
 import struct
 import zlib
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Iterator, List, Tuple
 
 from repro.core.errors import FormatError, VersionError
 from repro.core.handover import HandoverWord
@@ -82,9 +82,16 @@ def _unpack_bytes(data: bytes, offset: int) -> Tuple[bytes, int]:
     return data[offset : offset + length], offset + length
 
 
-def write_container(lepton: LeptonFile,
-                    interleave_slice: int = INTERLEAVE_SLICE) -> bytes:
-    """Serialise a :class:`LeptonFile` to bytes."""
+def iter_container(lepton: LeptonFile,
+                   interleave_slice: int = INTERLEAVE_SLICE) -> Iterator[bytes]:
+    """Serialise a :class:`LeptonFile` as a chunk stream.
+
+    The fixed header plus the zlib-compressed secondary header come first
+    in a single chunk — everything a decoder needs to emit the file prefix
+    and set up its thread segments — followed by one chunk per interleaved
+    arithmetic section.  ``b"".join(iter_container(x))`` is byte-identical
+    to :func:`write_container`'s output.
+    """
     secondary = bytearray()
     _pack_bytes(secondary, lepton.jpeg_header)
     secondary += struct.pack(
@@ -104,13 +111,14 @@ def write_container(lepton: LeptonFile,
         secondary += seg.handover.pack()
     zdata = zlib.compress(bytes(secondary), 9)
 
-    out = bytearray()
-    out += MAGIC
-    out += bytes([VERSION, ord("Z")])
-    out += struct.pack("<I", len(lepton.segments))
-    out += GIT_REVISION.ljust(12, b"\x00")[:12]
-    out += struct.pack("<II", lepton.output_size, len(zdata))
-    out += zdata
+    head = bytearray()
+    head += MAGIC
+    head += bytes([VERSION, ord("Z")])
+    head += struct.pack("<I", len(lepton.segments))
+    head += GIT_REVISION.ljust(12, b"\x00")[:12]
+    head += struct.pack("<II", lepton.output_size, len(zdata))
+    head += zdata
+    yield bytes(head)
 
     # Interleave the per-segment arithmetic sections (§A.1): round-robin in
     # fixed slices so a streaming decoder can start every thread early.
@@ -121,96 +129,187 @@ def write_container(lepton: LeptonFile,
             take = min(interleave_slice, len(seg.data) - cursors[sid])
             if take <= 0:
                 continue
-            out += struct.pack("<BI", sid, take)
-            out += seg.data[cursors[sid] : cursors[sid] + take]
+            yield struct.pack("<BI", sid, take) + seg.data[cursors[sid] : cursors[sid] + take]
             cursors[sid] += take
             remaining -= take
-    return bytes(out)
+
+
+def write_container(lepton: LeptonFile,
+                    interleave_slice: int = INTERLEAVE_SLICE) -> bytes:
+    """Serialise a :class:`LeptonFile` to bytes."""
+    return b"".join(iter_container(lepton, interleave_slice))
+
+
+class ContainerReader:
+    """Incremental Lepton container parser (the streaming read contract).
+
+    Feed payload bytes as they arrive; :meth:`feed` returns a list of
+    events, in stream order:
+
+    * ``("header", LeptonFile)`` — the fixed header and the zlib secondary
+      header are fully parsed.  The :class:`LeptonFile` carries everything
+      but the per-segment arithmetic data (``segments[i].data`` is still
+      empty), which is exactly enough to emit the file prefix and set up
+      thread-segment decoding before any coded byte has arrived.
+    * ``("segment", index)`` — that segment's interleaved sections have all
+      arrived; ``segments[index].data`` is now complete.
+
+    Errors surface as the same :class:`FormatError`/:class:`VersionError`
+    family :func:`read_container` raises, as soon as the bytes seen so far
+    prove them; :meth:`finish` raises for truncation.
+    """
+
+    def __init__(self):
+        self._buf = bytearray()
+        self._state = "header"  # "header" -> "zlib" -> "sections"
+        self._n_segments = 0
+        self._zsize = 0
+        self._output_size = 0
+        self._sizes: List[int] = []
+        self._chunks: List[List[bytes]] = []
+        self._filled: List[int] = []
+        self._done: List[bool] = []
+        self.lepton: "LeptonFile | None" = None
+
+    def feed(self, data: bytes) -> List[tuple]:
+        """Consume one input chunk; returns the events it completed."""
+        self._buf += data
+        events: List[tuple] = []
+        pos = 0
+        while True:
+            if self._state == "header":
+                if len(self._buf) >= 2 and bytes(self._buf[:2]) != MAGIC:
+                    raise FormatError("not a Lepton file: bad magic")
+                if len(self._buf) - pos < 28:
+                    break
+                self._parse_fixed_header(bytes(self._buf[:28]))
+                pos = 28
+                self._state = "zlib"
+            elif self._state == "zlib":
+                if len(self._buf) - pos < self._zsize:
+                    break
+                lepton = self._parse_secondary(bytes(self._buf[pos : pos + self._zsize]))
+                pos += self._zsize
+                self._state = "sections"
+                events.append(("header", lepton))
+                for sid, size in enumerate(self._sizes):
+                    if size == 0:
+                        self._done[sid] = True
+                        events.append(("segment", sid))
+            else:  # sections
+                if len(self._buf) - pos < 5:
+                    break
+                sid, length = struct.unpack_from("<BI", self._buf, pos)
+                if sid >= self._n_segments:
+                    raise FormatError(f"section for unknown segment {sid}")
+                if len(self._buf) - pos - 5 < length:
+                    break
+                self._chunks[sid].append(bytes(self._buf[pos + 5 : pos + 5 + length]))
+                self._filled[sid] += length
+                pos += 5 + length
+                if self._filled[sid] > self._sizes[sid]:
+                    raise FormatError(
+                        f"segment {sid}: got {self._filled[sid]} bytes, "
+                        f"expected {self._sizes[sid]}"
+                    )
+                if self._filled[sid] == self._sizes[sid] and not self._done[sid]:
+                    self._done[sid] = True
+                    self.lepton.segments[sid].data = b"".join(self._chunks[sid])
+                    self._chunks[sid].clear()
+                    events.append(("segment", sid))
+        del self._buf[:pos]  # bounded buffering: drop consumed input
+        return events
+
+    def finish(self) -> LeptonFile:
+        """Declare end of input; validates completeness, returns the file."""
+        if self._state == "header":
+            if len(self._buf) < 2 or bytes(self._buf[:2]) != MAGIC:
+                raise FormatError("not a Lepton file: bad magic")
+            raise FormatError("truncated container header")
+        if self._state == "zlib":
+            raise FormatError("truncated zlib section")
+        if self._buf:
+            if len(self._buf) < 5:
+                raise FormatError("truncated section header")
+            raise FormatError("truncated section payload")
+        for sid, done in enumerate(self._done):
+            if not done:
+                raise FormatError(
+                    f"segment {sid}: got {self._filled[sid]} bytes, "
+                    f"expected {self._sizes[sid]}"
+                )
+        return self.lepton
+
+    # -- parsing helpers ---------------------------------------------------
+
+    def _parse_fixed_header(self, head: bytes) -> None:
+        version = head[2]
+        if version != VERSION:
+            raise VersionError(
+                f"Lepton format version {version} not supported (have {VERSION}); "
+                "see §6.7 for what deploying mismatched versions does",
+                found=version,
+                supported=VERSION,
+            )
+        if head[3] not in (ord("Y"), ord("Z")):
+            raise FormatError("bad header flag")
+        (self._n_segments,) = struct.unpack_from("<I", head, 4)
+        # bytes 8..20: git revision (informational)
+        self._output_size, self._zsize = struct.unpack_from("<II", head, 20)
+
+    def _parse_secondary(self, zdata: bytes) -> LeptonFile:
+        try:
+            secondary = zlib.decompress(zdata)
+        except zlib.error as exc:
+            raise FormatError(f"corrupt zlib section: {exc}") from exc
+
+        s_off = 0
+        jpeg_header, s_off = _unpack_bytes(secondary, s_off)
+        if s_off + 22 > len(secondary):
+            raise FormatError("truncated secondary header")
+        (pad_bit, rst_count, prefix_offset, prefix_length,
+         scan_skip, scan_take, pad_final) = struct.unpack_from("<BIIIIIB", secondary, s_off)
+        s_off += struct.calcsize("<BIIIIIB")
+        trailer, s_off = _unpack_bytes(secondary, s_off)
+        if s_off + 4 > len(secondary):
+            raise FormatError("truncated segment table")
+        (n_seg_2,) = struct.unpack_from("<I", secondary, s_off)
+        s_off += 4
+        if n_seg_2 != self._n_segments:
+            raise FormatError("segment count mismatch between headers")
+        if self._n_segments > 64:
+            raise FormatError(f"implausible segment count {self._n_segments}")
+        segments = []
+        for _ in range(self._n_segments):
+            if s_off + 12 > len(secondary):
+                raise FormatError("truncated segment record")
+            mcu_start, mcu_end, size = struct.unpack_from("<III", secondary, s_off)
+            s_off += 12
+            handover, s_off = HandoverWord.unpack(secondary, s_off)
+            segments.append(SegmentRecord(mcu_start, mcu_end, handover))
+            self._sizes.append(size)
+
+        self._chunks = [[] for _ in range(self._n_segments)]
+        self._filled = [0] * self._n_segments
+        self._done = [False] * self._n_segments
+        self.lepton = LeptonFile(
+            jpeg_header=jpeg_header,
+            pad_bit=pad_bit,
+            rst_count=rst_count,
+            output_size=self._output_size,
+            prefix_offset=prefix_offset,
+            prefix_length=prefix_length,
+            trailer=trailer,
+            scan_skip=scan_skip,
+            scan_take=scan_take,
+            pad_final=bool(pad_final),
+            segments=segments,
+        )
+        return self.lepton
 
 
 def read_container(data: bytes) -> LeptonFile:
     """Parse a Lepton container produced by :func:`write_container`."""
-    if len(data) < 26 or data[:2] != MAGIC:
-        raise FormatError("not a Lepton file: bad magic")
-    version = data[2]
-    if version != VERSION:
-        raise VersionError(
-            f"Lepton format version {version} not supported (have {VERSION}); "
-            "see §6.7 for what deploying mismatched versions does",
-            found=version,
-            supported=VERSION,
-        )
-    if data[3] not in (ord("Y"), ord("Z")):
-        raise FormatError("bad header flag")
-    (n_segments,) = struct.unpack_from("<I", data, 4)
-    # bytes 8..20: git revision (informational)
-    output_size, zsize = struct.unpack_from("<II", data, 20)
-    offset = 28
-    if offset + zsize > len(data):
-        raise FormatError("truncated zlib section")
-    try:
-        secondary = zlib.decompress(data[offset : offset + zsize])
-    except zlib.error as exc:
-        raise FormatError(f"corrupt zlib section: {exc}") from exc
-    offset += zsize
-
-    s_off = 0
-    jpeg_header, s_off = _unpack_bytes(secondary, s_off)
-    if s_off + 22 > len(secondary):
-        raise FormatError("truncated secondary header")
-    (pad_bit, rst_count, prefix_offset, prefix_length,
-     scan_skip, scan_take, pad_final) = struct.unpack_from("<BIIIIIB", secondary, s_off)
-    s_off += struct.calcsize("<BIIIIIB")
-    trailer, s_off = _unpack_bytes(secondary, s_off)
-    if s_off + 4 > len(secondary):
-        raise FormatError("truncated segment table")
-    (n_seg_2,) = struct.unpack_from("<I", secondary, s_off)
-    s_off += 4
-    if n_seg_2 != n_segments:
-        raise FormatError("segment count mismatch between headers")
-    if n_segments > 64:
-        raise FormatError(f"implausible segment count {n_segments}")
-    segments = []
-    sizes = []
-    for _ in range(n_segments):
-        if s_off + 12 > len(secondary):
-            raise FormatError("truncated segment record")
-        mcu_start, mcu_end, size = struct.unpack_from("<III", secondary, s_off)
-        s_off += 12
-        handover, s_off = HandoverWord.unpack(secondary, s_off)
-        segments.append(SegmentRecord(mcu_start, mcu_end, handover))
-        sizes.append(size)
-
-    # Reassemble the interleaved sections.
-    buffers = [bytearray() for _ in range(n_segments)]
-    while offset < len(data):
-        if offset + 5 > len(data):
-            raise FormatError("truncated section header")
-        sid, length = struct.unpack_from("<BI", data, offset)
-        offset += 5
-        if sid >= n_segments:
-            raise FormatError(f"section for unknown segment {sid}")
-        if offset + length > len(data):
-            raise FormatError("truncated section payload")
-        buffers[sid] += data[offset : offset + length]
-        offset += length
-    for sid, (buf, expected) in enumerate(zip(buffers, sizes)):
-        if len(buf) != expected:
-            raise FormatError(
-                f"segment {sid}: got {len(buf)} bytes, expected {expected}"
-            )
-        segments[sid].data = bytes(buf)
-
-    return LeptonFile(
-        jpeg_header=jpeg_header,
-        pad_bit=pad_bit,
-        rst_count=rst_count,
-        output_size=output_size,
-        prefix_offset=prefix_offset,
-        prefix_length=prefix_length,
-        trailer=trailer,
-        scan_skip=scan_skip,
-        scan_take=scan_take,
-        pad_final=bool(pad_final),
-        segments=segments,
-    )
+    reader = ContainerReader()
+    reader.feed(data)
+    return reader.finish()

@@ -14,6 +14,7 @@ from typing import Iterator, Optional
 from repro.core import format as lformat
 from repro.core.decoder import decode_lepton, decode_lepton_stream
 from repro.core.encoder import EncodeStats, RoundtripMismatch, encode_jpeg
+from repro.core.session import DecodeSession, EncodeSession
 from repro.core.errors import (
     REASON_TO_EXIT,
     ExitCode,
@@ -125,6 +126,28 @@ def _classify_jpeg_error(data: bytes, exc: JpegError) -> ExitCode:
     return ExitCode.UNSUPPORTED_JPEG
 
 
+def _classify_reject(data: bytes, exc: Exception) -> "tuple[ExitCode, str]":
+    """Map an encode-pipeline exception to its §6.2 exit code and detail.
+
+    Shared by :func:`compress` and :func:`compress_stream` so the two entry
+    points cannot drift apart on classification.
+    """
+    if isinstance(exc, JpegError):
+        return _classify_jpeg_error(data, exc), str(exc)
+    if isinstance(exc, RoundtripMismatch):
+        return ExitCode.ROUNDTRIP_FAILED, str(exc)
+    if isinstance(exc, ValueOutOfRange):
+        return ExitCode.AC_OUT_OF_RANGE, str(exc)
+    if isinstance(exc, MemoryLimitExceeded):
+        return exc.exit_code, str(exc)
+    if isinstance(exc, TimeoutExceeded):
+        return ExitCode.TIMEOUT, str(exc)
+    # An internal invariant broke mid-encode (say, a FormatError while
+    # writing our own container): the §6.2 "Impossible" bucket.  The
+    # contract that compress() never raises holds even for bugs.
+    return ExitCode.IMPOSSIBLE, f"{type(exc).__name__}: {exc}"
+
+
 #: Tabulates every conversion's §6.2 exit code (see docs/observability.md).
 _EXIT_SINK = ExitCodeSink(metric="lepton.compress.exit_codes")
 
@@ -181,23 +204,8 @@ def _compress_inner(data: bytes, config: Optional[LeptonConfig]) -> CompressionR
         return CompressionResult(
             ExitCode.SUCCESS, FORMAT_LEPTON, payload, len(data), stats
         )
-    except UnsupportedJpegError as exc:
-        exit_code, detail = _classify_jpeg_error(data, exc), str(exc)
-    except JpegError as exc:
-        exit_code, detail = _classify_jpeg_error(data, exc), str(exc)
-    except RoundtripMismatch as exc:
-        exit_code, detail = ExitCode.ROUNDTRIP_FAILED, str(exc)
-    except ValueOutOfRange as exc:
-        exit_code, detail = ExitCode.AC_OUT_OF_RANGE, str(exc)
-    except MemoryLimitExceeded as exc:
-        exit_code, detail = exc.exit_code, str(exc)
-    except TimeoutExceeded as exc:
-        exit_code, detail = ExitCode.TIMEOUT, str(exc)
-    except LeptonError as exc:
-        # An internal invariant broke mid-encode (say, a FormatError while
-        # writing our own container): the §6.2 "Impossible" bucket.  The
-        # contract that compress() never raises holds even for bugs.
-        exit_code, detail = ExitCode.IMPOSSIBLE, f"{type(exc).__name__}: {exc}"
+    except (JpegError, LeptonError) as exc:
+        exit_code, detail = _classify_reject(data, exc)
 
     if config.deflate_fallback:
         payload = zlib.compress(data, 6)
@@ -205,6 +213,111 @@ def _compress_inner(data: bytes, config: Optional[LeptonConfig]) -> CompressionR
             exit_code, FORMAT_DEFLATE, payload, len(data), None, detail
         )
     return CompressionResult(exit_code, None, None, len(data), None, detail)
+
+
+def compress_stream(
+    chunks, config: Optional[LeptonConfig] = None
+) -> Iterator[bytes]:
+    """Streaming compression: consume input chunks, yield payload chunks.
+
+    ``chunks`` is any iterable of byte chunks (a file read loop, a network
+    stream).  The yielded chunks concatenate to exactly what
+    :func:`compress` would have returned as ``payload`` — a Lepton
+    container on success, the Deflate fallback (produced incrementally) on
+    a classified reject.  The generator's *return value* (``.value`` on the
+    terminating :class:`StopIteration`) is the :class:`CompressionResult`
+    with ``payload=None``: the bytes already went to the consumer.
+
+    Like :func:`compress`, this never raises for classifiable rejects and
+    feeds the same ``lepton.compress.*`` telemetry.
+    """
+    config = config or LeptonConfig()
+    registry = get_registry()
+    registry.counter("lepton.compress.attempts").inc()
+    # Telemetry only: never feeds a coded decision.
+    start = time.monotonic()  # lint: disable=D2
+    deadline = (
+        start + config.timeout_seconds
+        if config.timeout_seconds is not None
+        else None
+    )
+    session = EncodeSession(
+        model_config=config.model,
+        threads=config.threads,
+        decode_memory_limit=config.decode_memory_limit,
+        encode_memory_limit=config.encode_memory_limit,
+        deadline=deadline,
+        interleave_slice=config.interleave_slice,
+        allow_cmyk=config.allow_cmyk,
+    )
+    buffered = []
+    total_in = 0
+    for chunk in chunks:
+        chunk = bytes(chunk)
+        total_in += len(chunk)
+        buffered.append(chunk)
+        session.write(chunk)
+
+    output_size = 0
+    # The span stays open across yields: the encode stages it parents all
+    # run inside, so the trace keeps the same shape as compress().
+    with trace_span("lepton.compress", input_bytes=total_in):
+        try:
+            for piece in session.finish():
+                output_size += len(piece)
+                yield piece
+            stats = session.stats
+            if config.collect_breakdown:
+                from repro.core.encoder import huffman_bit_breakdown
+
+                stats.original_bits = huffman_bit_breakdown(session.image)
+            result = CompressionResult(
+                ExitCode.SUCCESS, FORMAT_LEPTON, None, total_in, stats
+            )
+        except (JpegError, LeptonError) as exc:
+            exit_code, detail = _classify_reject(b"".join(buffered), exc)
+            if config.deflate_fallback:
+                # The parse stage rejects before any container chunk is
+                # yielded, so the fallback stream starts from byte zero.
+                deflater = zlib.compressobj(6)
+                for chunk in buffered:
+                    piece = deflater.compress(chunk)
+                    if piece:
+                        output_size += len(piece)
+                        yield piece
+                piece = deflater.flush()
+                output_size += len(piece)
+                yield piece
+                result = CompressionResult(
+                    exit_code, FORMAT_DEFLATE, None, total_in, None, detail
+                )
+                registry.counter("lepton.compress.fallbacks").inc()
+            else:
+                result = CompressionResult(
+                    exit_code, None, None, total_in, None, detail
+                )
+    _EXIT_SINK.record(result.exit_code)
+    registry.counter("lepton.compress.input_bytes").inc(total_in)
+    if result.format is not None:
+        registry.counter("lepton.compress.output_bytes").inc(output_size)
+    registry.histogram("lepton.compress.seconds").observe(
+        time.monotonic() - start  # lint: disable=D2
+    )
+    return result
+
+
+def _inflate(payload: bytes) -> bytes:
+    """Deflate-decode a stored payload, mapping garbage to the typed error.
+
+    Empty or corrupt payloads used to leak a raw ``zlib.error`` out of
+    every decompress entry point; callers match on :class:`FormatError`.
+    """
+    try:
+        return zlib.decompress(payload)
+    except zlib.error as exc:
+        raise FormatError(
+            f"stored payload is neither Lepton nor Deflate: {exc}"
+        ) from exc
 
 
 def decompress(payload: bytes, parallel: bool = True,
@@ -226,7 +339,7 @@ def decompress_result(payload: bytes, parallel: bool = True,
             data = decode_lepton(payload, model_config=model_config, parallel=parallel)
             fmt = FORMAT_LEPTON
         else:
-            data = zlib.decompress(payload)
+            data = _inflate(payload)
             fmt = FORMAT_DEFLATE
     seconds = time.monotonic() - start  # lint: disable=D2 - telemetry only
     registry = get_registry()
@@ -241,7 +354,7 @@ def decompress_stream(payload: bytes, parallel: bool = True,
     if payload[:2] == lformat.MAGIC:
         yield from decode_lepton_stream(payload, model_config, parallel)
     else:
-        yield zlib.decompress(payload)
+        yield _inflate(payload)
 
 
 def decompress_bounded(payload: bytes,
@@ -257,7 +370,55 @@ def decompress_bounded(payload: bytes,
     if payload[:2] == lformat.MAGIC:
         yield from decode_lepton_bounded(payload, model_config)
     else:
-        yield zlib.decompress(payload)
+        yield _inflate(payload)
+
+
+def decompress_chunks(
+    chunks,
+    model_config: Optional[ModelConfig] = None,
+    parallel: bool = False,
+) -> Iterator[bytes]:
+    """Streaming decompression from an *iterator* of stored-payload chunks.
+
+    The dual of :func:`compress_stream`: the format is sniffed from the
+    first two bytes, Lepton containers stream through a
+    :class:`~repro.core.session.DecodeSession` (output begins before the
+    final input chunk is consumed), and anything else inflates
+    incrementally as Deflate.  Garbage, truncated, and empty payloads all
+    raise :class:`FormatError`.
+    """
+    source = iter(chunks)
+    head = b""
+    while len(head) < 2:
+        try:
+            head += bytes(next(source))
+        except StopIteration:
+            break
+    if head[:2] == lformat.MAGIC:
+        session = DecodeSession(model_config=model_config, parallel=parallel)
+        yield from session.write(head)
+        for chunk in source:
+            yield from session.write(bytes(chunk))
+        yield from session.finish()
+        return
+    inflater = zlib.decompressobj()
+    try:
+        piece = inflater.decompress(head)
+        if piece:
+            yield piece
+        for chunk in source:
+            piece = inflater.decompress(bytes(chunk))
+            if piece:
+                yield piece
+        tail = inflater.flush()
+    except zlib.error as exc:
+        raise FormatError(
+            f"stored payload is neither Lepton nor Deflate: {exc}"
+        ) from exc
+    if tail:
+        yield tail
+    if not inflater.eof:
+        raise FormatError("stored payload is a truncated Deflate stream")
 
 
 def roundtrip_check(data: bytes, config: Optional[LeptonConfig] = None) -> CompressionResult:
@@ -284,4 +445,61 @@ def roundtrip_check(data: bytes, config: Optional[LeptonConfig] = None) -> Compr
                 None,
                 "post-compression round-trip verification failed",
             )
+    return result
+
+
+def roundtrip_check_chunked(
+    chunks, config: Optional[LeptonConfig] = None
+) -> CompressionResult:
+    """§5.7 admission gate over an *iterator* of input chunks.
+
+    Drives :func:`compress_stream`, then verifies the stored payload
+    decodes — chunk against chunk via :func:`decompress_chunks` — to
+    exactly the input it consumed.  A mismatch downgrades to the Deflate
+    fallback with ``ROUNDTRIP_FAILED``, like :func:`roundtrip_check`.
+    The returned result carries the full stored payload.
+    """
+    buffered: "list[bytes]" = []
+
+    def _tee(source):
+        for chunk in source:
+            chunk = bytes(chunk)
+            buffered.append(chunk)
+            yield chunk
+
+    stream = compress_stream(_tee(chunks), config)
+    pieces = []
+    while True:
+        try:
+            pieces.append(next(stream))
+        except StopIteration as stop:
+            result = stop.value
+            break
+    payload = b"".join(pieces)
+    data = b"".join(buffered)
+    result.payload = payload
+    if result.format != FORMAT_LEPTON:
+        return result
+    position = 0
+    ok = True
+    try:
+        for piece in decompress_chunks([payload]):
+            if data[position : position + len(piece)] != piece:
+                ok = False
+                break
+            position += len(piece)
+    except (LeptonError, FormatError):
+        ok = False
+    if ok and position != len(data):
+        ok = False
+    if not ok:
+        get_registry().counter("lepton.verify.roundtrip_failures").inc()
+        return CompressionResult(
+            ExitCode.ROUNDTRIP_FAILED,
+            FORMAT_DEFLATE,
+            zlib.compress(data, 6),
+            len(data),
+            None,
+            "post-compression round-trip verification failed",
+        )
     return result

@@ -84,7 +84,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="Determinism & safety static analysis (rules D1-D5; "
+        description="Determinism & safety static analysis (rules D1-D6; "
                     "see docs/lint.md).",
     )
     parser.add_argument("paths", nargs="*",

@@ -46,6 +46,11 @@ DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
         "repro.storage.qualification",
     ),
     "D5": ("repro.core.*", "repro.storage.*", "repro.corpus.*", "repro.obs.*"),
+    # Everywhere the Lepton pipeline is consumed.  repro.baselines is out of
+    # scope by design: the comparison codecs (§2) are independent coders and
+    # legitimately own their own BoolEncoder loops.
+    "D6": ("repro.core.*", "repro.storage.*", "repro.corpus.*",
+           "repro.analysis.*", "repro.cli", "repro.obs.*"),
 }
 
 

@@ -1,4 +1,4 @@
-"""The determinism & safety rule set (D1–D5).
+"""The determinism & safety rule set (D1–D6).
 
 Each rule is a ~30-line AST visitor plus metadata; the engine handles file
 collection, scoping, pragmas and reporting.  The invariants come straight
@@ -12,7 +12,11 @@ from the paper and the deployment report that motivated this pass:
 * §5.5's fleet machinery runs conversions concurrently — hence D4
   (shared-state writes must be lock-guarded);
 * §6.6's triage depends on spans surviving exceptions and on failures not
-  being swallowed — hence D5 (context-managed spans, no bare ``except``).
+  being swallowed — hence D5 (context-managed spans, no bare ``except``);
+* the streaming session is the *one* segment-coding loop — hence D6
+  (no module outside it may drive the arithmetic coder directly, so the
+  timed/chunked forks that once drifted from the real pipeline cannot
+  regrow).
 
 Rules are registered in :data:`RULES`; ``docs/lint.md`` documents each id
 and ``tests/test_docs.py`` fails if the two ever diverge.
@@ -498,3 +502,47 @@ class SpanAndExceptionSafety(Rule):
         if isinstance(func, ast.Attribute) and func.attr == "span":
             return "tracer" in ast.unparse(func.value).lower()
         return False
+
+
+# --- D6 -------------------------------------------------------------------
+
+#: The arithmetic-coder surface only the session pipeline may drive.
+_CODEC_CLASSES = ("SegmentCodec", "BoolEncoder", "BoolDecoder")
+
+
+@register
+class CodecLoopContainment(Rule):
+    """The streaming session owns the one segment-coding loop; any other
+    module instantiating the arithmetic coder regrows the fork that let the
+    timed and chunked entry points silently drift from the real pipeline."""
+
+    id = "D6"
+    name = "codec-loop-containment"
+    summary = ("instantiating `SegmentCodec`/`BoolEncoder`/`BoolDecoder` "
+               "outside the session module (and the modules that define "
+               "them) is forbidden — every entry point must drive the codec "
+               "through `EncodeSession`/`DecodeSession` or "
+               "`code_segment_records`, so there is exactly one coding loop "
+               "to qualify")
+    paper_ref = "§3.4 (one codec, many surfaces), §5.4/§5.7 (qualification)"
+
+    #: The session plus the modules that *define* the codec classes.
+    _DEFAULT_ALLOWED = ("repro.core.session", "repro.core.bool_coder",
+                        "repro.core.coefcoder")
+
+    def check_module(self, info, config):
+        allowed = config.option(self.id, "allowed_modules",
+                                self._DEFAULT_ALLOWED)
+        if info.module in allowed:
+            return
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = dotted_name(node.func, info.imports)
+            if origin and origin.split(".")[-1] in _CODEC_CLASSES:
+                yield self.finding(
+                    info, node,
+                    f"`{origin.split('.')[-1]}` instantiated outside "
+                    "repro.core.session: drive the codec through "
+                    "EncodeSession/DecodeSession (or code_segment_records) "
+                    "— the segment-coding loop must not fork")

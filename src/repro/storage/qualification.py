@@ -67,7 +67,7 @@ def qualify_build(
 
     ``lint_gate`` runs the static determinism/safety analysis of
     docs/lint.md over the installed ``repro`` tree first: a build that
-    carries a D1–D5 finding is rejected before a single file is compressed,
+    carries a D1–D6 finding is rejected before a single file is compressed,
     the same way the production harness refused to ship a build whose two
     compilations disagreed (§5.2).
     """

@@ -119,3 +119,16 @@ def test_grayscale_with_rst_chunked():
                        restart_interval=2)
     chunks = compress_chunked(data, 500)
     assert verify_chunks(data, chunks)
+
+
+def test_final_chunk_holding_only_the_pad_byte():
+    """Regression (found by hypothesis): a chunk boundary can isolate the
+    scan's final pad byte past the last MCU's indexed start offset; the
+    start MCU must clamp to the last real MCU instead of planning an
+    empty segment range."""
+    data = corpus_jpeg(seed=137, height=52, width=15, quality=95,
+                       grayscale=True, subsampling="4:4:4")
+    chunks = compress_chunked(data, 232, LeptonConfig())
+    assert all(c.format == "lepton" for c in chunks)
+    assert verify_chunks(data, chunks)
+    assert decompress_file(chunks) == data

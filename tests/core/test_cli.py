@@ -55,6 +55,50 @@ def test_stdout_output(tmp_path, jpeg_path, capsysbinary):
     assert payload[:2] == b"\xCF\x84"
 
 
+def test_decompress_streams_to_stdout(tmp_path, jpeg_path, capsysbinary):
+    lep = tmp_path / "photo.lep"
+    assert main(["compress", str(jpeg_path), str(lep), "--quiet"]) == 0
+    assert main(["decompress", str(lep), "-", "--quiet"]) == 0
+    assert capsysbinary.readouterr().out == jpeg_path.read_bytes()
+
+
+def test_stdin_to_stdout_pipe(monkeypatch, jpeg_path, capsysbinary):
+    """`lepton compress - -` and `lepton decompress - -`: the full pipe."""
+    import io
+    import sys
+    from types import SimpleNamespace
+
+    original = jpeg_path.read_bytes()
+    monkeypatch.setattr(sys, "stdin", SimpleNamespace(buffer=io.BytesIO(original)))
+    assert main(["compress", "-", "-", "--quiet"]) == 0
+    payload = capsysbinary.readouterr().out
+    assert payload[:2] == b"\xCF\x84"
+
+    monkeypatch.setattr(sys, "stdin", SimpleNamespace(buffer=io.BytesIO(payload)))
+    assert main(["decompress", "-", "-", "--quiet"]) == 0
+    assert capsysbinary.readouterr().out == original
+
+
+def test_decompress_reports_byte_counts(tmp_path, jpeg_path, capsys):
+    lep = tmp_path / "photo.lep"
+    out = tmp_path / "photo.out.jpg"
+    assert main(["compress", str(jpeg_path), str(lep), "--quiet"]) == 0
+    assert main(["decompress", str(lep), str(out)]) == 0
+    err = capsys.readouterr().err
+    original = jpeg_path.read_bytes()
+    assert f"decoded {lep.stat().st_size} -> {len(original)} bytes" in err
+
+
+def test_reject_without_fallback_creates_no_output_file(tmp_path):
+    bad = tmp_path / "bad.bin"
+    bad.write_bytes(b"not a jpeg")
+    out = tmp_path / "bad.lep"
+    status = main(["compress", str(bad), str(out), "--no-fallback", "--quiet"])
+    assert status == EXIT_STATUS[ExitCode.NOT_AN_IMAGE]
+    # The sink opens lazily: a reject that yields nothing leaves no file.
+    assert not out.exists()
+
+
 def test_qualify_clean_directory(tmp_path):
     for seed in range(3):
         data = corpus_jpeg(seed=300 + seed, height=40, width=40)

@@ -1,0 +1,16 @@
+"""D6 fixture: the codec is driven through the session pipeline."""
+
+from repro.core.session import DecodeSession, EncodeSession
+
+
+def compress_by_session(data):
+    session = EncodeSession()
+    session.write(data)
+    return b"".join(session.finish())
+
+
+def decompress_by_session(payload):
+    session = DecodeSession()
+    pieces = list(session.write(payload))
+    pieces.extend(session.finish())
+    return b"".join(pieces)

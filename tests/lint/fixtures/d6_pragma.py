@@ -1,0 +1,11 @@
+"""D6 fixture: a sanctioned off-pipeline loop, suppressed line by line."""
+
+from repro.core.bool_coder import BoolEncoder
+from repro.core.coefcoder import SegmentCodec
+
+
+def code_segment_for_experiment(img, config, start, end):
+    codec = SegmentCodec(img.frame, img.coefficients, config)  # lint: disable=D6 - throwaway experiment
+    encoder = BoolEncoder()  # lint: disable=D6 - throwaway experiment
+    codec.encode(encoder, start, end)
+    return encoder.finish()

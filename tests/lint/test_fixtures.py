@@ -13,7 +13,7 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 # D3 is project-wide (needs the enum + pin table); its fixtures live in
 # test_d3_exhaustiveness.py as a synthetic tree.
-PER_MODULE_RULES = ["D1", "D2", "D4", "D5"]
+PER_MODULE_RULES = ["D1", "D2", "D4", "D5", "D6"]
 
 
 def rules_hit(path: Path):

@@ -81,6 +81,35 @@ class TestBlockStore:
         with pytest.raises(IntegrityError):
             store.get_chunk(record.chunk_keys[0])
 
+    def test_stream_file_matches_get_file(self, store):
+        data = corpus_jpeg(seed=74, height=96, width=96)
+        store.put_file("a.jpg", data)
+        pieces = list(store.stream_file("a.jpg"))
+        assert b"".join(pieces) == store.get_file("a.jpg") == data
+        assert len(pieces) > 1  # actually streamed, not one blob
+
+    def test_stream_file_records_ttfb(self, store):
+        from repro.obs import get_registry
+
+        data = corpus_jpeg(seed=75, height=64, width=64)
+        store.put_file("a.jpg", data)
+        registry = get_registry()
+        before = registry.histogram("blockstore.read.ttfb_seconds").count
+        assert b"".join(store.stream_file("a.jpg")) == data
+        assert registry.histogram("blockstore.read.ttfb_seconds").count == before + 1
+        assert registry.histogram("blockstore.read.seconds").count >= before + 1
+
+    def test_stream_chunk_verifies_decode_digest(self, store):
+        data = corpus_jpeg(seed=76, height=64, width=64)
+        record = store.put_file("a.jpg", data)
+        entry = store.entries[record.chunk_keys[0]]
+        # The payload md5 precheck passes; the streamed decode no longer
+        # matches the recorded content digest, which is only checkable
+        # after the last piece — the error must still surface.
+        entry.original_sha256 = "0" * 64
+        with pytest.raises(IntegrityError):
+            b"".join(store.stream_chunk(record.chunk_keys[0]))
+
 
 class TestMetaserver:
     def _users(self):
