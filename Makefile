@@ -4,10 +4,15 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint lint-json lint-tests
+.PHONY: test lint lint-json lint-tests chaos
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# The chaos suite: deterministic fault injection, degraded reads, and the
+# zero-wrong-bytes invariant (run with -m chaos; see docs/deployment.md).
+chaos:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m chaos
 
 # The determinism/safety static analysis (docs/lint.md).  Exits non-zero
 # on any D1-D5 finding; the same gate runs inside storage.qualification.

@@ -129,7 +129,35 @@ def _lint(path: str, as_json: bool, quiet: bool) -> int:
     return 1 if findings else 0
 
 
+def _chaos(args) -> int:
+    """Run a deterministic chaos experiment and print the report.
+
+    The report is a pure function of ``(--seed, --plan)``: running the same
+    pair twice must print byte-identical output (tested).
+    """
+    from repro.faults.chaos import run_chaos
+    from repro.faults.plan import FaultPlan
+
+    plan = None
+    if args.plan is not None:
+        with open(args.plan, "r") as handle:
+            plan = FaultPlan.from_json(handle.read())
+    report = run_chaos(
+        plan=plan,
+        seed=args.seed,
+        hours=args.hours,
+        reads=args.reads,
+        policies=not args.no_policies,
+    )
+    print(report.to_json() if args.as_json else report.render(), end="")
+    # Wrong bytes served is the one unforgivable outcome (§5.7).
+    return 1 if report.wrong_bytes else 0
+
+
 def _dispatch(args, config: LeptonConfig) -> int:
+    if args.command == "chaos":
+        return _chaos(args)
+
     if args.command == "qualify":
         return _qualify(args.input, config, args.quiet)
 
@@ -205,10 +233,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument("command",
                         choices=["compress", "decompress", "verify", "qualify",
-                                 "stats", "lint"])
+                                 "stats", "lint", "chaos"])
     parser.add_argument("input",
                         help="input path (- for stdin); for qualify/lint: "
-                             "a directory")
+                             "a directory; unused by chaos")
     parser.add_argument("output", nargs="?", default=None,
                         help="output path, or - for stdout")
     parser.add_argument("--threads", type=int, default=None,
@@ -222,8 +250,28 @@ def main(argv=None) -> int:
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write the span trace (JSON lines) to PATH")
     parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="for lint: emit the version-1 JSON report")
+                        help="for lint/chaos: emit a JSON report")
     parser.add_argument("--quiet", action="store_true")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="for chaos: the experiment seed")
+    parser.add_argument("--plan", metavar="PATH", default=None,
+                        help="for chaos: a FaultPlan JSON file "
+                             "(default: generate from --seed)")
+    parser.add_argument("--hours", type=float, default=0.5,
+                        help="for chaos: simulated fleet hours")
+    parser.add_argument("--reads", type=int, default=200,
+                        help="for chaos: faulted storage reads to perform")
+    parser.add_argument("--no-policies", action="store_true",
+                        help="for chaos: disable retry/hedging/breakers/"
+                             "fallback (the control run)")
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "chaos" and (len(argv) == 1
+                                        or argv[1].startswith("-")):
+        # chaos takes no input path; inject a placeholder so the flat
+        # positional grammar stays intact for every other command
+        # (argparse's greedy matching breaks on optional positionals
+        # when flags are interleaved, e.g. ``lint --json PATH``).
+        argv.insert(1, "-")
     args = parser.parse_args(argv)
 
     config = LeptonConfig(

@@ -1,0 +1,34 @@
+"""Deterministic fault injection (repro.faults).
+
+Plans are data (:mod:`repro.faults.plan`), injectors apply them
+(:mod:`repro.faults.injector`), and the chaos harness
+(:mod:`repro.faults.chaos` — imported directly, never from here, because
+it imports the fleet which imports this package) turns a ``(seed, plan)``
+pair into a byte-reproducible :class:`~repro.faults.report.ChaosReport`.
+"""
+
+from repro.faults.injector import (
+    FleetFaultInjector,
+    ReadFaultInjector,
+    corrupt_at_rest,
+)
+from repro.faults.plan import (
+    CrashFault,
+    FaultPlan,
+    NetworkFault,
+    SlowFault,
+    StorageFaultConfig,
+)
+from repro.faults.report import ChaosReport
+
+__all__ = [
+    "ChaosReport",
+    "CrashFault",
+    "FaultPlan",
+    "FleetFaultInjector",
+    "NetworkFault",
+    "ReadFaultInjector",
+    "SlowFault",
+    "StorageFaultConfig",
+    "corrupt_at_rest",
+]

@@ -1,0 +1,165 @@
+"""Chaos harness: one ``(seed, plan)`` pair → one reproducible report.
+
+Two halves, mirroring the system's two failure surfaces:
+
+* **Fleet**: a :class:`~repro.storage.fleet.FleetSim` run under the plan's
+  crash/slow/network events, with the recovery policies (retry, hedging,
+  circuit breakers) on or off.
+* **Storage**: a :class:`~repro.storage.blockstore.BlockStore` holding
+  real coded JPEGs, subjected to transient read-path corruption and
+  persistent at-rest bit-flips, read back ``reads`` times and compared
+  byte-for-byte with the originals.
+
+This module imports the fleet, which imports :mod:`repro.faults` — so it
+is deliberately *not* re-exported from the package ``__init__``; import it
+as ``repro.faults.chaos``.
+"""
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import LeptonError
+from repro.corpus.builder import corpus_jpeg
+from repro.faults.injector import ReadFaultInjector, corrupt_at_rest
+from repro.faults.plan import FaultPlan
+from repro.faults.report import ChaosReport
+from repro.obs import MetricsRegistry
+from repro.storage.blockstore import BlockStore, IntegrityError
+from repro.storage.fleet import FleetConfig, FleetMetrics, FleetSim
+from repro.storage.outsourcing import Strategy
+from repro.storage.retry import RetryPolicy
+
+#: Synthetic corpus backing the storage half: (seed, height, width).
+_CORPUS_SHAPES: Tuple[Tuple[int, int, int], ...] = (
+    (11, 64, 64),
+    (12, 48, 80),
+    (13, 80, 48),
+    (14, 64, 96),
+)
+
+
+def run_fleet_chaos(
+    plan: FaultPlan,
+    seed: int = 0,
+    hours: float = 0.5,
+    policies: bool = True,
+) -> Tuple[FleetMetrics, Optional[object]]:
+    """Run the fleet under ``plan``; returns (metrics, breaker board)."""
+    config = FleetConfig(
+        duration_hours=hours,
+        strategy=Strategy.TO_SELF,
+        seed=seed,
+        fault_plan=plan,
+        retry=RetryPolicy() if policies else None,
+        hedging=policies,
+        breakers_enabled=policies,
+    )
+    sim = FleetSim(config)
+    metrics = sim.run()
+    return metrics, sim.breakers
+
+
+def run_storage_chaos(
+    plan: FaultPlan,
+    seed: int = 0,
+    reads: int = 200,
+    policies: bool = True,
+    registry: Optional[MetricsRegistry] = None,
+) -> Dict[str, int]:
+    """Store real JPEGs, corrupt them per the plan, read them back.
+
+    Every served read is compared byte-for-byte with the original upload;
+    a mismatch counts under ``wrong_bytes`` (the §5.7 never-wrong-bytes
+    invariant — expected to be zero no matter what is injected).
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    storage = plan.storage
+    store = BlockStore(keep_originals=policies)
+    files: Dict[str, bytes] = {}
+    for jpeg_seed, height, width in _CORPUS_SHAPES:
+        name = f"photo-{jpeg_seed}.jpg"
+        data = corpus_jpeg(seed=jpeg_seed, height=height, width=width)
+        store.put_file(name, data)
+        files[name] = data
+    rng = np.random.default_rng(seed)
+    injected_at_rest = 0
+    if storage is not None:
+        injected_at_rest = corrupt_at_rest(store, storage, rng,
+                                           registry=registry)
+        store.read_fault = ReadFaultInjector(storage, seed=seed + 1,
+                                             registry=registry)
+    if policies:
+        store.read_retry = RetryPolicy(max_attempts=3)
+    names = sorted(files)
+    stats = {
+        "reads_attempted": 0,
+        "reads_served": 0,
+        "reads_degraded": 0,
+        "reads_failed": 0,
+        "wrong_bytes": 0,
+        "at_rest_corruptions": injected_at_rest,
+    }
+    for _ in range(reads):
+        name = names[int(rng.integers(len(names)))]
+        stats["reads_attempted"] += 1
+        fallbacks_before = store.degraded_fallbacks
+        try:
+            data = store.get_file(name)
+        except (IntegrityError, LeptonError):
+            stats["reads_failed"] += 1
+            continue
+        stats["reads_served"] += 1
+        if store.degraded_fallbacks > fallbacks_before:
+            stats["reads_degraded"] += 1
+        if data != files[name]:
+            stats["wrong_bytes"] += 1
+    return stats
+
+
+def _fault_counts(*registries: MetricsRegistry) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for registry in registries:
+        for labels, counter in registry.series("faults.injected"):
+            kind = labels["kind"]
+            out[kind] = out.get(kind, 0) + int(counter.value)
+    return out
+
+
+def run_chaos(
+    plan: Optional[FaultPlan] = None,
+    seed: int = 0,
+    hours: float = 0.5,
+    reads: int = 200,
+    policies: bool = True,
+) -> ChaosReport:
+    """The ``lepton chaos`` entry point: fleet + storage under one plan."""
+    if plan is None:
+        plan = FaultPlan.generate(seed=seed, duration=hours * 3600.0)
+    metrics, breakers = run_fleet_chaos(plan, seed=seed, hours=hours,
+                                        policies=policies)
+    storage_registry = MetricsRegistry()
+    storage_stats = run_storage_chaos(plan, seed=seed, reads=reads,
+                                      policies=policies,
+                                      registry=storage_registry)
+    percentiles = metrics.latency_percentiles(qs=(50, 99))
+    return ChaosReport(
+        seed=seed,
+        plan_summary=plan.summary(),
+        jobs_submitted=metrics._counter_total("fleet.jobs.submitted"),
+        jobs_completed=metrics._counter_total("fleet.jobs.completed"),
+        jobs_abandoned=metrics.abandoned(),
+        retries=metrics._counter_total("retry.attempts"),
+        hedges_launched=metrics._counter_total("hedge.launched"),
+        hedges_won=metrics._counter_total("hedge.won"),
+        breaker_trips=breakers.trip_count() if breakers is not None else 0,
+        failures_by_reason=metrics.failures_by_reason(),
+        latency_p50=percentiles[50],
+        latency_p99=percentiles[99],
+        reads_attempted=storage_stats["reads_attempted"],
+        reads_served=storage_stats["reads_served"],
+        reads_degraded=storage_stats["reads_degraded"],
+        reads_failed=storage_stats["reads_failed"],
+        wrong_bytes=storage_stats["wrong_bytes"],
+        faults_injected=_fault_counts(metrics.registry, storage_registry),
+    )

@@ -1,0 +1,124 @@
+"""Chaos-run report: availability/durability numbers, rendered bytes.
+
+The report is the artifact ``lepton chaos`` prints and tests compare: the
+same ``(seed, plan)`` must produce byte-identical output across runs, so
+everything here renders from sorted dicts with fixed formatting and no
+wall-clock timestamps.
+"""
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ChaosReport:
+    """Availability and durability outcome of one chaos run."""
+
+    seed: int
+    plan_summary: Dict[str, object]
+    # -- fleet side ------------------------------------------------------
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_abandoned: int = 0
+    retries: int = 0
+    hedges_launched: int = 0
+    hedges_won: int = 0
+    breaker_trips: int = 0
+    failures_by_reason: Dict[str, int] = field(default_factory=dict)
+    latency_p50: float = 0.0
+    latency_p99: float = 0.0
+    # -- storage side ----------------------------------------------------
+    reads_attempted: int = 0
+    reads_served: int = 0
+    reads_degraded: int = 0
+    reads_failed: int = 0
+    wrong_bytes: int = 0
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def availability(self) -> float:
+        if self.jobs_submitted == 0:
+            return 1.0
+        return self.jobs_completed / self.jobs_submitted
+
+    @property
+    def read_availability(self) -> float:
+        if self.reads_attempted == 0:
+            return 1.0
+        return self.reads_served / self.reads_attempted
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "plan": dict(sorted(self.plan_summary.items())),
+            "fleet": {
+                "availability": f"{self.availability:.6f}",
+                "jobs_submitted": self.jobs_submitted,
+                "jobs_completed": self.jobs_completed,
+                "jobs_abandoned": self.jobs_abandoned,
+                "retries": self.retries,
+                "hedges_launched": self.hedges_launched,
+                "hedges_won": self.hedges_won,
+                "breaker_trips": self.breaker_trips,
+                "failures_by_reason": dict(
+                    sorted(self.failures_by_reason.items())
+                ),
+                "latency_p50": f"{self.latency_p50:.6f}",
+                "latency_p99": f"{self.latency_p99:.6f}",
+            },
+            "storage": {
+                "read_availability": f"{self.read_availability:.6f}",
+                "reads_attempted": self.reads_attempted,
+                "reads_served": self.reads_served,
+                "reads_degraded": self.reads_degraded,
+                "reads_failed": self.reads_failed,
+                "wrong_bytes": self.wrong_bytes,
+            },
+            "faults_injected": dict(sorted(self.faults_injected.items())),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-readable report (still byte-deterministic)."""
+        lines = [
+            "chaos report",
+            "============",
+            f"seed: {self.seed}",
+            "plan: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.plan_summary.items())
+            ),
+            "",
+            "fleet",
+            "-----",
+            f"  availability:    {self.availability:.4%}"
+            f" ({self.jobs_completed}/{self.jobs_submitted})",
+            f"  abandoned:       {self.jobs_abandoned}",
+            f"  retries:         {self.retries}",
+            f"  hedges:          {self.hedges_won}/{self.hedges_launched} won",
+            f"  breaker trips:   {self.breaker_trips}",
+            f"  latency p50/p99: {self.latency_p50:.3f}s / {self.latency_p99:.3f}s",
+        ]
+        for reason, count in sorted(self.failures_by_reason.items()):
+            lines.append(f"  failed ({reason}): {count}")
+        lines += [
+            "",
+            "storage",
+            "-------",
+            f"  read availability: {self.read_availability:.4%}"
+            f" ({self.reads_served}/{self.reads_attempted})",
+            f"  degraded reads:    {self.reads_degraded}",
+            f"  failed reads:      {self.reads_failed}",
+            f"  wrong bytes:       {self.wrong_bytes}",
+            "",
+            "faults injected",
+            "---------------",
+        ]
+        if self.faults_injected:
+            for kind, count in sorted(self.faults_injected.items()):
+                lines.append(f"  {kind}: {count}")
+        else:
+            lines.append("  (none)")
+        return "\n".join(lines) + "\n"

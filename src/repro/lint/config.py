@@ -28,11 +28,13 @@ CODED_PATH = (
 )
 
 #: Modules that must be replayable: the codec, corpus generation (explicit
-#: seeds only) and the storage simulations (SimClock only, §5.5).
+#: seeds only), the storage simulations (SimClock only, §5.5), and fault
+#: injection — a chaos run that cannot replay cannot be debugged.
 DETERMINISTIC = (
     "repro.core.*",
     "repro.corpus.*",
     "repro.storage.*",
+    "repro.faults.*",
 )
 
 DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
@@ -44,13 +46,16 @@ DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
         "repro.storage.blockserver",
         "repro.storage.backfill",
         "repro.storage.qualification",
+        "repro.storage.retry",
+        "repro.faults.*",
     ),
-    "D5": ("repro.core.*", "repro.storage.*", "repro.corpus.*", "repro.obs.*"),
+    "D5": ("repro.core.*", "repro.storage.*", "repro.corpus.*", "repro.obs.*",
+           "repro.faults.*"),
     # Everywhere the Lepton pipeline is consumed.  repro.baselines is out of
     # scope by design: the comparison codecs (§2) are independent coders and
     # legitimately own their own BoolEncoder loops.
     "D6": ("repro.core.*", "repro.storage.*", "repro.corpus.*",
-           "repro.analysis.*", "repro.cli", "repro.obs.*"),
+           "repro.analysis.*", "repro.cli", "repro.obs.*", "repro.faults.*"),
 }
 
 

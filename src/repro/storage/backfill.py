@@ -21,6 +21,7 @@ from repro.core.errors import ExitCode
 from repro.core.lepton import LeptonConfig, compress, decompress
 from repro.obs import ExitCodeSink, MetricsRegistry, get_registry, trace_span
 from repro.storage.chunking import CHUNK_SIZE, split_chunks
+from repro.storage.retry import RetryPolicy
 from repro.storage.simclock import SimClock
 
 USERS_PER_REQUEST = 128
@@ -115,6 +116,7 @@ class BackfillStats:
     bytes_out: int = 0
     exit_codes: Dict[ExitCode, int] = field(default_factory=dict)
     verification_failures: int = 0
+    retries: int = 0
 
     def record(self, code: ExitCode) -> None:
         self.exit_codes[code] = self.exit_codes.get(code, 0) + 1
@@ -138,12 +140,21 @@ class BackfillWorker:
                  upload: Callable[[str, bytes], None],
                  config: Optional[LeptonConfig] = None,
                  registry: Optional[MetricsRegistry] = None,
-                 shutoff=None):
+                 shutoff=None,
+                 retry: Optional[RetryPolicy] = None,
+                 compress_fn: Callable = compress):
         self.metaserver = metaserver
         self.upload = upload
         self.config = config or LeptonConfig()
         self.stats = BackfillStats()
         self.registry = registry if registry is not None else get_registry()
+        #: §6.6: a verification failure on one machine is usually the
+        #: machine, not the chunk — recompress a bounded number of times
+        #: before writing the chunk off.
+        self.retry = retry if retry is not None else RetryPolicy(max_attempts=3)
+        #: Injection point for tests (a flaky compressor exercises the
+        #: retry loop without a genuinely broken codec).
+        self.compress_fn = compress_fn
         #: Optional §5.7 kill switch (:class:`~repro.storage.safety.ShutoffSwitch`);
         #: when it engages mid-shard the worker drains instead of converting.
         self.shutoff = shutoff
@@ -176,18 +187,28 @@ class BackfillWorker:
         self.registry.counter("backfill.chunks_processed").inc()
         self.registry.counter("backfill.bytes_in").inc(len(chunk))
         with trace_span("backfill.process_chunk", sha=sha[:12]):
-            result = compress(chunk, self.config)
-            self.stats.record(result.exit_code)
-            self.exit_sink.record(result.exit_code)
-            if result.ok:
+            attempt = 1
+            while True:
+                result = self.compress_fn(chunk, self.config)
+                self.stats.record(result.exit_code)
+                self.exit_sink.record(result.exit_code)
+                if not result.ok:
+                    break  # fallback/skip outcome: not a verification issue
                 verified = all(
                     decompress(result.payload, parallel=parallel) == chunk
                     for parallel in (True, False, False)
                 )
-                if not verified:
+                if verified:
+                    break
+                if not self.retry.should_retry(attempt):
                     self.stats.verification_failures += 1
-                    self.registry.counter("backfill.verification_failures").inc()
+                    self.registry.counter(
+                        "backfill.verification_failures"
+                    ).inc()
                     return
+                attempt += 1
+                self.stats.retries += 1
+                self.registry.counter("backfill.retries").inc()
             self.stats.bytes_out += result.output_size
             self.registry.counter("backfill.bytes_out").inc(result.output_size)
             self.upload(sha, result.payload)

@@ -52,11 +52,26 @@ class Job:
     threads: int
     arrival: float
     on_complete: Optional[Callable[["Job"], None]] = None
+    #: Called with (job, reason) when the job is lost instead of finishing:
+    #: reason is "crash" (server died mid-flight), "refused" (submitted to
+    #: a down server), or "timeout" (lost in transit, §6.6).
+    on_fail: Optional[Callable[["Job", str], None]] = None
     job_id: int = field(default_factory=_next_job_id)
     server_id: Optional[int] = None
     start_time: float = 0.0
     finish_time: float = 0.0
     outsourced: bool = False
+    failed: bool = False
+    fail_reason: Optional[str] = None
+
+    def fail(self, reason: str) -> None:
+        """Mark the job lost and notify its owner exactly once."""
+        if self.failed:
+            return
+        self.failed = True
+        self.fail_reason = reason
+        if self.on_fail:
+            self.on_fail(self, reason)
 
     @property
     def is_lepton(self) -> bool:
@@ -96,14 +111,20 @@ class BlockServer:
         self.thp_credit_max = thp_credit
         self._thp_credit = 0
         self.busy_core_seconds = 0.0
+        #: Fault-injection state (repro.faults): a crashed server is down
+        #: until restarted; a degraded node runs all work ``slow_factor``×
+        #: slower (the swapping/overheating machines of §6.6).
+        self.up = True
+        self.slow_factor = 1.0
+        self.crashes = 0
 
     # -- processor sharing machinery -----------------------------------
 
     def _rate(self, job: Job, total_demand: int) -> float:
         """Cores currently granted to ``job``."""
         if total_demand <= self.cores:
-            return float(job.threads)
-        return job.threads * self.cores / total_demand
+            return float(job.threads) / self.slow_factor
+        return job.threads * self.cores / total_demand / self.slow_factor
 
     def _advance(self) -> None:
         """Account progress since the last state change."""
@@ -159,6 +180,14 @@ class BlockServer:
 
     def submit(self, job: Job) -> None:
         """Start servicing ``job`` on this machine."""
+        if not self.up:
+            # Connection refused: the caller's retry policy decides what
+            # happens next; without one the conversion is simply lost.
+            self.registry.counter(
+                "blockserver.refused", server=self.server_id
+            ).inc()
+            job.fail("refused")
+            return
         self._advance()
         job.server_id = self.server_id
         job.start_time = self.clock.now
@@ -175,6 +204,58 @@ class BlockServer:
         self._remaining[job.job_id] = work
         self._update_gauges()
         self._reschedule()
+
+    def crash(self) -> None:
+        """Kill the machine: every in-flight job is lost (§5.7).
+
+        Progress is *not* accounted first — a crash loses whatever the
+        dying process had done.  Owners learn via ``job.fail("crash")``
+        and may resubmit elsewhere; the server stays down until
+        :meth:`restart`.
+        """
+        lost = [self.jobs[job_id] for job_id in sorted(self.jobs)]
+        self.jobs.clear()
+        self._remaining.clear()
+        self._epoch += 1  # invalidate any scheduled completion events
+        self._last_update = self.clock.now
+        self.up = False
+        self.crashes += 1
+        self.registry.counter(
+            "blockserver.crashes", server=self.server_id
+        ).inc()
+        self._update_gauges()
+        for job in lost:
+            job.fail("crash")
+
+    def restart(self) -> None:
+        """Bring a crashed machine back into rotation (idempotent)."""
+        self.up = True
+        self.slow_factor = 1.0
+        self._last_update = self.clock.now
+        self._update_gauges()
+
+    def set_slow(self, factor: float) -> None:
+        """Degrade (or restore) the machine: all rates divided by ``factor``."""
+        if factor <= 0:
+            raise ValueError(f"slow factor must be positive, got {factor}")
+        self._advance()  # account progress at the old speed first
+        self.slow_factor = factor
+        self._reschedule()
+
+    def cancel(self, job_id: int) -> bool:
+        """Withdraw a job (the losing side of a hedged conversion).
+
+        Returns whether the job was still here.  No completion or failure
+        callback fires — the caller already has the winner's result.
+        """
+        if job_id not in self.jobs:
+            return False
+        self._advance()
+        del self.jobs[job_id]
+        del self._remaining[job_id]
+        self._update_gauges()
+        self._reschedule()
+        return True
 
     def _update_gauges(self) -> None:
         """Per-server occupancy gauges (the §5.5 outsourcing signals)."""

@@ -8,13 +8,16 @@ production md5-style integrity check of the stored payload.
 
 import hashlib
 import time
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.core.chunks import StoredChunk, compress_chunked, decompress_chunk
+from repro.core.errors import LeptonError
 from repro.core.lepton import FORMAT_LEPTON, LeptonConfig, decompress_chunks
 from repro.obs import get_registry
 from repro.storage.chunking import CHUNK_SIZE
+from repro.storage.retry import RetryPolicy
 
 
 class IntegrityError(RuntimeError):
@@ -53,6 +56,23 @@ class BlockStore:
     lepton_bytes_out: int = 0
     # Per-conversion exit codes are tabulated by the compress() layer into
     # the global registry (lepton.compress.exit_codes — docs/observability.md).
+    # -- degraded-read mode (repro.faults / docs/deployment.md) ----------
+    #: Keep a deflate copy of every admitted chunk's original bytes so a
+    #: persistently corrupt Lepton payload can still serve the file.
+    keep_originals: bool = False
+    #: Bounded re-read on verification failure before falling back; the
+    #: in-memory store re-reads immediately (production would back off).
+    read_retry: Optional[RetryPolicy] = None
+    #: Fault-injection hook ``(key, payload, attempt) -> payload`` applied
+    #: to every payload read (see repro.faults.ReadFaultInjector).
+    read_fault: Optional[Callable[[str, bytes, int], bytes]] = None
+    originals: Dict[str, bytes] = field(default_factory=dict)
+    degraded_fallbacks: int = 0
+
+    @property
+    def _recovery_enabled(self) -> bool:
+        return (self.read_retry is not None or self.keep_originals
+                or self.read_fault is not None)
 
     def put_file(self, name: str, data: bytes) -> FileRecord:
         """Chunk, compress, verify, and admit a file."""
@@ -68,6 +88,8 @@ class BlockStore:
                     f"chunk {chunk.index} of {name!r} failed the round-trip gate"
                 )
             key = hashlib.sha256(original).hexdigest()
+            if self.keep_originals and key not in self.originals:
+                self.originals[key] = zlib.compress(original, 6)
             if key not in self.entries:
                 self.entries[key] = StoreEntry(
                     chunk=chunk,
@@ -83,15 +105,61 @@ class BlockStore:
         self.files[name] = record
         return record
 
-    def get_chunk(self, key: str) -> bytes:
-        """Retrieve and decode one chunk, verifying payload integrity."""
-        entry = self.entries[key]
-        if hashlib.md5(entry.chunk.payload).hexdigest() != entry.payload_md5:
+    def _verify_and_decode(self, key: str, entry: StoreEntry,
+                           payload: bytes) -> bytes:
+        """Both integrity gates over one (possibly faulted) payload read."""
+        if hashlib.md5(payload).hexdigest() != entry.payload_md5:
             raise IntegrityError(f"payload digest mismatch for {key[:12]}")
-        data = decompress_chunk(entry.chunk)
+        chunk = entry.chunk
+        if payload is not chunk.payload:
+            chunk = StoredChunk(chunk.index, chunk.format, payload,
+                                chunk.original_range)
+        data = decompress_chunk(chunk)
         if hashlib.sha256(data).hexdigest() != entry.original_sha256:
             raise IntegrityError(f"decode digest mismatch for {key[:12]}")
         return data
+
+    def get_chunk(self, key: str) -> bytes:
+        """Retrieve and decode one chunk, verifying payload integrity.
+
+        With recovery configured (``read_retry`` / ``keep_originals`` /
+        ``read_fault``) a verification failure triggers a bounded re-read
+        and then the original-JPEG fallback; corrupt Lepton output is
+        *never* returned — both digest gates sit in front of every exit.
+        """
+        entry = self.entries[key]
+        if not self._recovery_enabled:
+            return self._verify_and_decode(key, entry, entry.chunk.payload)
+        return self._read_chunk_recovered(key, entry)
+
+    def _read_chunk_recovered(self, key: str, entry: StoreEntry) -> bytes:
+        registry = get_registry()
+        attempts = (self.read_retry.max_attempts
+                    if self.read_retry is not None else 1)
+        error: Exception = IntegrityError(f"unreadable chunk {key[:12]}")
+        for attempt in range(1, attempts + 1):
+            if attempt > 1:
+                registry.counter("retry.attempts", scope="blockstore").inc()
+            payload = entry.chunk.payload
+            if self.read_fault is not None:
+                payload = self.read_fault(key, payload, attempt)
+            try:
+                return self._verify_and_decode(key, entry, payload)
+            except (IntegrityError, LeptonError, zlib.error) as exc:
+                error = exc
+        # Out of re-reads: the payload is rotten at rest.  Serve the kept
+        # original if we have one — the §5.7 durability promise.
+        original = self.originals.get(key)
+        if original is not None:
+            data = zlib.decompress(original)
+            if hashlib.sha256(data).hexdigest() != entry.original_sha256:
+                raise IntegrityError(
+                    f"fallback digest mismatch for {key[:12]}"
+                )
+            self.degraded_fallbacks += 1
+            registry.counter("degraded_read.fallbacks").inc()
+            return data
+        raise error
 
     def get_file(self, name: str) -> bytes:
         """Reassemble a stored file from its chunks."""
@@ -132,7 +200,13 @@ class BlockStore:
         start = time.monotonic()  # lint: disable=D2
         first = True
         for key in record.chunk_keys:
-            for piece in self.stream_chunk(key):
+            # With recovery configured each chunk is verified *before* any
+            # of its bytes are yielded (buffering is bounded by the chunk
+            # size) — the degraded-read contract forbids streaming bytes
+            # that a later digest check could disown.
+            pieces = ([self.get_chunk(key)] if self._recovery_enabled
+                      else self.stream_chunk(key))
+            for piece in pieces:
                 if first:
                     first = False
                     registry.histogram("blockstore.read.ttfb_seconds").observe(

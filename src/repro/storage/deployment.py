@@ -126,7 +126,9 @@ def simulate_rollback_incident(
         total_decodes=downloads_during_incident,
         cross_server_failures=cross_failures,
         files_written_by_old_build=old_written,
-        files_needing_reencode=max(cross_failures, 1),
+        # Every cross-server failure is a file the remediation scan must
+        # re-encode — no more, no less; zero is a legitimate outcome.
+        files_needing_reencode=cross_failures,
     )
 
 

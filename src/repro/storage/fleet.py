@@ -5,6 +5,15 @@ curve, a type-blind load balancer assigns them to random blockservers, and
 the outsourcing policy reroutes conversions off overloaded machines.  The
 metrics collected are the paper's: per-conversion latency percentiles and
 the per-server count of concurrent Lepton processes.
+
+The crash-aware mode (repro.faults) layers the deployment story on top:
+a :class:`~repro.faults.plan.FaultPlan` injects blockserver crashes,
+degraded nodes, and network loss on outsourced conversions, while the
+recovery policies — :class:`~repro.storage.retry.RetryPolicy` resubmission,
+per-target circuit breakers, and hedged conversions (duplicate a straggler
+to a second in-building server, first finisher wins) — keep availability
+up.  With everything disabled the simulation is draw-for-draw identical to
+the policy-free original, so Figures 9/10 are unchanged.
 """
 
 import math
@@ -14,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.segments import choose_thread_count
+from repro.faults.plan import FaultPlan
 from repro.obs import MetricsRegistry, StreamingHistogram
 from repro.storage.blockserver import (
     BlockServer,
@@ -28,6 +38,7 @@ from repro.storage.outsourcing import (
     Strategy,
     transfer_penalty,
 )
+from repro.storage.retry import BreakerBoard, CircuitBreaker, RetryPolicy
 from repro.storage.simclock import SimClock
 from repro.storage.workload import decode_rate, encode_rate
 
@@ -61,6 +72,21 @@ class FleetConfig:
     thp_enabled: bool = False
     sample_interval: float = 60.0
     seed: int = 0
+    # -- crash-aware mode (repro.faults) --------------------------------
+    #: Faults to inject during the run; None = the fault-free original.
+    fault_plan: Optional[FaultPlan] = None
+    #: Resubmission policy for lost conversions (crash/refused/timeout);
+    #: None = a lost conversion is simply abandoned.
+    retry: Optional[RetryPolicy] = None
+    #: Duplicate a conversion to a second in-building server once it has
+    #: waited past the observed latency percentile; first finisher wins.
+    hedging: bool = False
+    hedge_quantile: float = 0.95
+    #: Floor for the hedge trigger: never hedge before this many seconds
+    #: (early in a run the latency sketch is too sparse to trust).
+    hedge_min_wait: float = 2.0
+    #: Consult per-target circuit breakers before outsourcing/hedging.
+    breakers_enabled: bool = False
 
 
 @dataclass
@@ -133,6 +159,61 @@ class FleetMetrics:
         )
         return outsourced / completed
 
+    def _counter_total(self, name: str) -> int:
+        return int(sum(c.value for _, c in self.registry.series(name)))
+
+    def availability(self) -> float:
+        """Completed conversions over submitted ones.
+
+        Conversions lost to faults and never recovered (abandoned), plus
+        any still in flight at the end of the window, count against
+        availability — the §6.7 incident's headline number.
+        """
+        submitted = self._counter_total("fleet.jobs.submitted")
+        if submitted == 0:
+            return 1.0
+        return self._counter_total("fleet.jobs.completed") / submitted
+
+    def abandoned(self) -> int:
+        """Conversions lost to faults with no retry budget left."""
+        return self._counter_total("fleet.jobs.abandoned")
+
+    def failures_by_reason(self) -> Dict[str, int]:
+        """Job-attempt failures (before retry) keyed by reason."""
+        out: Dict[str, int] = {}
+        for labels, counter in self.registry.series("fleet.jobs.failed"):
+            reason = labels["reason"]
+            out[reason] = out.get(reason, 0) + int(counter.value)
+        return out
+
+
+class _Conversion:
+    """One logical conversion: its attempts, hedges, and final outcome.
+
+    A conversion survives the failure of individual :class:`Job` attempts —
+    the retry policy resubmits, hedging runs duplicates, and latency is
+    always measured from the *original* arrival, so recovery honestly
+    inflates the latency distribution instead of resetting it.
+    """
+
+    __slots__ = ("kind", "size", "threads", "base_work", "arrival",
+                 "attempt", "done", "abandoned", "active", "hedges")
+
+    def __init__(self, kind: str, size: int, threads: int,
+                 base_work: float, arrival: float):
+        self.kind = kind
+        self.size = size
+        self.threads = threads
+        self.base_work = base_work
+        self.arrival = arrival
+        self.attempt = 1
+        self.done = False
+        self.abandoned = False
+        #: job_id -> (job, server-or-None, is_hedge).  Insertion-ordered,
+        #: so iteration is deterministic.
+        self.active: Dict[int, Tuple[Job, Optional[BlockServer], bool]] = {}
+        self.hedges = 0
+
 
 class FleetSim:
     """One simulated day (or window) of the serving fleet."""
@@ -163,6 +244,18 @@ class FleetSim:
         ]
         self.policy = OutsourcingPolicy(config.strategy, config.threshold)
         self.metrics = FleetMetrics(registry=self.registry)
+        # -- crash-aware mode: breakers and the fault injector ----------
+        self.breakers: Optional[BreakerBoard] = None
+        if config.breakers_enabled:
+            self.breakers = BreakerBoard(
+                self.clock, CircuitBreaker(), registry=self.registry
+            )
+            self.policy.breakers = self.breakers
+        self.injector = None
+        if config.fault_plan is not None:
+            from repro.faults.injector import FleetFaultInjector
+
+            self.injector = FleetFaultInjector(config.fault_plan, self)
 
     # -- request handling -------------------------------------------------
 
@@ -191,18 +284,141 @@ class FleetSim:
         threads = choose_thread_count(size)
         work = encode_work(size) if kind == "lepton_encode" else decode_work(size)
         self.registry.counter("fleet.jobs.submitted", kind=kind).inc()
-        job = Job(kind, work, threads, self.clock.now,
-                  on_complete=self._record_job)
+        conv = _Conversion(kind, size, threads, work, self.clock.now)
+        self._start_attempt(conv)
+
+    # -- conversion attempts (retry / hedging / network loss) -------------
+
+    def _make_job(self, conv: _Conversion) -> Job:
+        return Job(
+            conv.kind, conv.base_work, conv.threads, conv.arrival,
+            on_complete=lambda j: self._job_finished(conv, j),
+            on_fail=lambda j, reason: self._job_failed(conv, j, reason),
+        )
+
+    def _start_attempt(self, conv: _Conversion) -> None:
+        """One attempt at a conversion, drawing exactly the rng sequence of
+        the original policy-free submission path."""
+        job = self._make_job(conv)
         local = self.blockservers[int(self.rng.integers(len(self.blockservers)))]
         target = self.policy.choose_server(
             local, self.blockservers, self.dedicated, self.rng
         )
         if target is None:
+            conv.active[job.job_id] = (job, local, False)
             local.submit(job)
         else:
             job.outsourced = True
             job.work *= transfer_penalty(local, target)
+            conv.active[job.job_id] = (job, target, False)
+            self._ship(job, target)
+        self._maybe_schedule_hedge(conv)
+
+    def _ship(self, job: Job, target: BlockServer) -> None:
+        """Send a conversion over the network; during a fault window it may
+        be lost in transit and surface as a timeout (§6.6)."""
+        fault = (
+            self.config.fault_plan.network_fault_at(self.clock.now)
+            if self.config.fault_plan is not None else None
+        )
+        if fault is not None and float(self.rng.random()) < fault.loss_probability:
+            self.registry.counter("faults.injected", kind="network_loss").inc()
+            self.clock.after(fault.timeout, lambda: job.fail("timeout"))
+        else:
             self.clock.after(NETWORK_DELAY_SECONDS, lambda: target.submit(job))
+
+    def _job_finished(self, conv: _Conversion, job: Job) -> None:
+        entry = conv.active.pop(job.job_id, None)
+        if conv.done:
+            return  # a hedge twin already won; ignore the straggler
+        conv.done = True
+        server = entry[1] if entry else None
+        was_hedge = entry[2] if entry else False
+        if was_hedge:
+            self.registry.counter("hedge.won", kind=conv.kind).inc()
+        if self.breakers is not None and server is not None:
+            self.breakers.success(server.server_id)
+        # Withdraw the losing twins: no callbacks fire, the winner's result
+        # is already in hand.
+        for other_id in sorted(conv.active):
+            _other, other_server, _ = conv.active[other_id]
+            if other_server is not None:
+                other_server.cancel(other_id)
+        conv.active.clear()
+        self._record_job(job)
+
+    def _job_failed(self, conv: _Conversion, job: Job, reason: str) -> None:
+        entry = conv.active.pop(job.job_id, None)
+        server = entry[1] if entry else None
+        self.registry.counter(
+            "fleet.jobs.failed", kind=conv.kind, reason=reason
+        ).inc()
+        if self.breakers is not None and server is not None:
+            self.breakers.failure(server.server_id)
+        if conv.done or conv.active:
+            return  # the winner already landed, or a twin is still running
+        retry = self.config.retry
+        elapsed = self.clock.now - conv.arrival
+        if retry is not None and retry.should_retry(conv.attempt, elapsed):
+            attempt = conv.attempt
+            conv.attempt += 1
+            self.registry.counter("retry.attempts", scope="fleet").inc()
+            delay = retry.backoff(attempt, self.rng)
+            self.clock.after(delay, lambda: self._retry_attempt(conv))
+        else:
+            conv.abandoned = True
+            self.registry.counter(
+                "fleet.jobs.abandoned", kind=conv.kind
+            ).inc()
+
+    def _retry_attempt(self, conv: _Conversion) -> None:
+        if conv.done or conv.abandoned:
+            return
+        self._start_attempt(conv)
+
+    # -- hedging -----------------------------------------------------------
+
+    def _hedge_delay(self, kind: str) -> float:
+        """Straggler threshold: the observed latency quantile once the
+        sketch has enough mass, floored at ``hedge_min_wait``."""
+        hist = self.metrics._latency_histogram(kind)
+        if hist.count >= 50:
+            quantile = float(hist.quantile(self.config.hedge_quantile))
+            return max(quantile, self.config.hedge_min_wait)
+        return self.config.hedge_min_wait
+
+    def _maybe_schedule_hedge(self, conv: _Conversion) -> None:
+        if not self.config.hedging or conv.done or conv.hedges >= 1:
+            return
+        self.clock.after(self._hedge_delay(conv.kind),
+                         lambda: self._hedge_check(conv))
+
+    def _hedge_check(self, conv: _Conversion) -> None:
+        """The primary outlived the straggler threshold: duplicate it to a
+        second in-building server; first finisher wins (§5.5 applied to
+        tail tolerance)."""
+        if conv.done or conv.abandoned or not conv.active or conv.hedges >= 1:
+            return
+        first_entry = next(iter(conv.active.values()))
+        origin = first_entry[1]
+        if origin is None:
+            return  # primary is lost in transit; the timeout path handles it
+        exclude = {
+            entry[1].server_id
+            for entry in conv.active.values() if entry[1] is not None
+        }
+        target = self.policy.hedge_target(
+            origin, self.blockservers, exclude, self.rng
+        )
+        if target is None:
+            return
+        conv.hedges += 1
+        self.registry.counter("hedge.launched", kind=conv.kind).inc()
+        job = self._make_job(conv)
+        job.outsourced = True
+        job.work *= transfer_penalty(origin, target)
+        conv.active[job.job_id] = (job, target, True)
+        self._ship(job, target)
 
     # -- arrival processes -------------------------------------------------
 
@@ -244,6 +460,8 @@ class FleetSim:
 
     def run(self) -> FleetMetrics:
         cfg = self.config
+        if self.injector is not None:
+            self.injector.arm()
         self._schedule_arrivals(
             "lepton_encode", lambda t: encode_rate(t, cfg.encode_base_per_second)
         )

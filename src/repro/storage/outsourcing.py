@@ -44,6 +44,10 @@ class OutsourcingPolicy:
     strategy: Strategy
     threshold: int = 3  # outsource if more than this many are running
     same_building_only: bool = True  # footnote 5's placement rule
+    #: Optional per-target circuit breakers
+    #: (:class:`~repro.storage.retry.BreakerBoard`): targets whose breaker
+    #: is open receive no outsourced work until their reset timeout.
+    breakers: Optional[object] = None
 
     def _in_building(self, local: BlockServer,
                      servers: List[BlockServer]) -> List[BlockServer]:
@@ -51,6 +55,14 @@ class OutsourcingPolicy:
             return list(servers)
         same = [s for s in servers if s.building == local.building]
         return same or list(servers)  # degrade gracefully if a building is empty
+
+    def _eligible(self, local: BlockServer,
+                  servers: List[BlockServer]) -> List[BlockServer]:
+        """In-building, up, and not circuit-broken."""
+        pool = [s for s in self._in_building(local, servers) if s.up]
+        if self.breakers is not None:
+            pool = [s for s in pool if self.breakers.allow(s.server_id)]
+        return pool
 
     def choose_server(
         self,
@@ -65,14 +77,35 @@ class OutsourcingPolicy:
         if local.lepton_count <= self.threshold:
             return None
         if self.strategy is Strategy.TO_DEDICATED:
-            pool = self._in_building(local, dedicated)
+            pool = self._eligible(local, dedicated)
             if not pool:
                 return None
             return pool[int(rng.integers(len(pool)))]
         # TO_SELF: two random choices among the other blockservers, pick the
         # less loaded — "inspired by the power of two random choices" (§5.5).
         others = [s for s in blockservers if s.server_id != local.server_id]
-        candidates = self._in_building(local, others) if others else []
+        candidates = self._eligible(local, others) if others else []
+        if not candidates:
+            return None
+        first = candidates[int(rng.integers(len(candidates)))]
+        second = candidates[int(rng.integers(len(candidates)))]
+        return first if first.lepton_count <= second.lepton_count else second
+
+    def hedge_target(
+        self,
+        local: BlockServer,
+        blockservers: List[BlockServer],
+        exclude: "set",
+        rng: np.random.Generator,
+    ) -> Optional[BlockServer]:
+        """Second in-building server for a hedged conversion (§5.5 applied
+        to stragglers): two random choices among eligible peers not already
+        running this conversion, less-loaded wins."""
+        others = [
+            s for s in blockservers
+            if s.server_id != local.server_id and s.server_id not in exclude
+        ]
+        candidates = self._eligible(local, others) if others else []
         if not candidates:
             return None
         first = candidates[int(rng.integers(len(candidates)))]

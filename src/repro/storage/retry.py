@@ -1,0 +1,175 @@
+"""Retry, backoff, and circuit-breaking policies (§5.5, §6.6).
+
+The paper's deployment survives failure by *policy*, not by luck: timed-out
+conversions are retried on healthy machines (§6.6), outsourcing avoids
+targets that keep failing (§5.5), and a degraded read serves the original
+JPEG rather than corrupt Lepton output (§5.7's invariant).  This module
+holds the mechanism those policies share:
+
+* :class:`RetryPolicy` — capped exponential backoff with seeded jitter and
+  a per-request deadline budget.  Deterministic: jitter comes from an
+  explicit ``numpy`` Generator, never ambient entropy (lint rule D2).
+* :class:`CircuitBreaker` / :class:`BreakerBoard` — per-target breakers the
+  outsourcing policy consults before shipping work to a machine that has
+  been crashing or timing out.  Time flows in explicitly (SimClock
+  seconds), so breaker transitions replay exactly.
+
+Telemetry (docs/observability.md): ``retry.attempts{scope=...}``,
+``breaker.state{server=...}`` and ``breaker.trips{server=...}``.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.obs import MetricsRegistry, get_registry
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with seeded jitter and a deadline budget.
+
+    ``max_attempts`` counts every try including the first, so
+    ``max_attempts=3`` means one initial attempt plus at most two retries.
+    ``deadline`` bounds the *total* time a request may spend across
+    attempts: once ``elapsed`` exceeds it no retry is granted, even if
+    attempts remain — §6.6's lesson that a conversion stuck behind a
+    swapping machine must not be re-queued forever.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    #: Fractional jitter: the computed delay is scaled by a factor drawn
+    #: uniformly from ``[1 - jitter, 1 + jitter]`` (when an rng is given).
+    jitter: float = 0.5
+    #: Per-request budget in seconds; ``None`` means attempts-only.
+    deadline: Optional[float] = None
+
+    def should_retry(self, attempt: int, elapsed: float = 0.0) -> bool:
+        """May retry number ``attempt`` (1 = first retry) still run?"""
+        if attempt >= self.max_attempts:
+            return False
+        if self.deadline is not None and elapsed >= self.deadline:
+            return False
+        return True
+
+    def backoff(self, attempt: int, rng=None) -> float:
+        """Delay in seconds before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt numbers are 1-based, got {attempt}")
+        delay = self.base_delay * self.multiplier ** (attempt - 1)
+        delay = min(delay, self.max_delay)
+        if rng is not None and self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return max(delay, 0.0)
+
+
+class BreakerState(enum.Enum):
+    """Classic three-state breaker; the gauge exports the numeric value."""
+
+    CLOSED = 0
+    OPEN = 1
+    HALF_OPEN = 2
+
+
+@dataclass
+class CircuitBreaker:
+    """Consecutive-failure breaker for one target server.
+
+    CLOSED counts consecutive failures; at ``failure_threshold`` it OPENs
+    and rejects traffic for ``reset_timeout`` seconds, after which the
+    next ``allow`` transitions to HALF_OPEN and admits one probe.  A
+    success in HALF_OPEN closes the breaker; a failure re-opens it.
+    """
+
+    failure_threshold: int = 3
+    reset_timeout: float = 60.0
+    state: BreakerState = BreakerState.CLOSED
+    failures: int = 0
+    opened_at: float = 0.0
+    trips: int = 0
+
+    def allow(self, now: float) -> bool:
+        """May a request be sent to this target at time ``now``?"""
+        if self.state is BreakerState.OPEN:
+            if now - self.opened_at >= self.reset_timeout:
+                self.state = BreakerState.HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.state = BreakerState.CLOSED
+
+    def record_failure(self, now: float) -> None:
+        self.failures += 1
+        if (self.state is BreakerState.HALF_OPEN
+                or self.failures >= self.failure_threshold):
+            if self.state is not BreakerState.OPEN:
+                self.trips += 1
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+
+
+class BreakerBoard:
+    """Per-target circuit breakers sharing one clock and one registry.
+
+    The outsourcing policy asks ``allow(server_id)`` before shipping a
+    conversion; the fleet records outcomes with ``success``/``failure``.
+    Every transition is mirrored to the ``breaker.state`` gauge so chaos
+    reports and dashboards see the same state machine.
+    """
+
+    def __init__(self, clock, template: Optional[CircuitBreaker] = None,
+                 registry: Optional[MetricsRegistry] = None):
+        self.clock = clock
+        self._template = template or CircuitBreaker()
+        self.registry = registry if registry is not None else get_registry()
+        self._breakers: Dict[int, CircuitBreaker] = {}
+
+    def breaker(self, server_id: int) -> CircuitBreaker:
+        breaker = self._breakers.get(server_id)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self._template.failure_threshold,
+                reset_timeout=self._template.reset_timeout,
+            )
+            self._breakers[server_id] = breaker
+        return breaker
+
+    def _export(self, server_id: int, breaker: CircuitBreaker) -> None:
+        self.registry.gauge("breaker.state", server=server_id).set(
+            breaker.state.value
+        )
+
+    def allow(self, server_id: int) -> bool:
+        breaker = self.breaker(server_id)
+        allowed = breaker.allow(self.clock.now)
+        self._export(server_id, breaker)
+        return allowed
+
+    def success(self, server_id: int) -> None:
+        breaker = self.breaker(server_id)
+        breaker.record_success()
+        self._export(server_id, breaker)
+
+    def failure(self, server_id: int) -> None:
+        breaker = self.breaker(server_id)
+        before = breaker.trips
+        breaker.record_failure(self.clock.now)
+        if breaker.trips != before:
+            self.registry.counter("breaker.trips", server=server_id).inc()
+        self._export(server_id, breaker)
+
+    def open_count(self) -> int:
+        """Targets currently refusing traffic (for the chaos report)."""
+        return sum(
+            1 for _, b in sorted(self._breakers.items())
+            if b.state is BreakerState.OPEN
+        )
+
+    def trip_count(self) -> int:
+        return sum(b.trips for _, b in sorted(self._breakers.items()))

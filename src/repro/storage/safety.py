@@ -13,7 +13,10 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.core.errors import ExitCode, LeptonError, TimeoutExceeded
 from repro.core.lepton import decompress
+from repro.jpeg.errors import JpegError
+from repro.obs import ExitCodeSink, MetricsRegistry, get_registry
 
 #: Config-file deployment takes 15–45 minutes; the shutoff file propagates
 #: in ~30 seconds (§5.7).
@@ -117,6 +120,9 @@ class AlertPipeline:
     timeout_queue: List[str] = field(default_factory=list)
     quarantine: Dict[str, bytes] = field(default_factory=dict)
     auto_cleared: int = 0
+    #: Telemetry sink for triage outcomes (``safety.triage.exit_codes``);
+    #: defaults to the global registry.
+    registry: Optional[MetricsRegistry] = None
 
     def report_timeout(self, key: str, payload: bytes) -> None:
         self.timeout_queue.append(key)
@@ -127,29 +133,66 @@ class AlertPipeline:
         decoders: Optional[List[Callable[[bytes], bytes]]] = None,
         attempts: int = 3,
     ) -> List[Alert]:
-        """Re-decode each queued chunk ``attempts`` times with each build."""
+        """Re-decode each queued chunk ``attempts`` times with each build.
+
+        Outcomes are typed, not lumped together:
+
+        * decoders agree on one output → auto-cleared, quarantine released;
+        * still timing out on healthy isolated hardware → ``decode_timeout``
+          page (the machine was fine; the chunk is the problem);
+        * a codec/container error → ``decode_failure`` page;
+        * decoders *disagree* → the §6.2 "impossible" bucket: the
+          determinism invariant itself broke.  Recorded under
+          :attr:`~repro.core.errors.ExitCode.IMPOSSIBLE` in
+          ``safety.triage.exit_codes`` and paged as ``impossible``.
+
+        Anything else propagates — a broken test harness should crash the
+        triage job, not masquerade as a decode failure.
+        """
         decoders = decoders or [
             lambda p: decompress(p, parallel=True),   # icc production build
             lambda p: decompress(p, parallel=False),  # gcc-asan build
         ]
-        new_pages = []
-        for key in list(self.timeout_queue):
+        sink = ExitCodeSink(
+            self.registry if self.registry is not None else get_registry(),
+            metric="safety.triage.exit_codes",
+        )
+        # Deduplicate while preserving order: a chunk reported twice is
+        # still a single triage item.
+        pending: List[str] = []
+        for key in self.timeout_queue:
+            if key not in pending:
+                pending.append(key)
+        self.timeout_queue.clear()
+        new_pages: List[Alert] = []
+        for key in pending:
             payload = self.quarantine[key]
+            outputs = set()
+            alert: Optional[Alert] = None
             try:
-                outputs = set()
                 for decoder in decoders:
                     for _ in range(attempts):
                         outputs.add(decoder(payload))
-                if len(outputs) != 1:
-                    raise RuntimeError("nondeterministic decode outputs")
-            except Exception as exc:  # a real failure: page a human
+            except TimeoutExceeded as exc:
+                sink.record(ExitCode.TIMEOUT)
+                alert = Alert("decode_timeout", str(exc), key)
+            except (LeptonError, JpegError, zlib.error) as exc:
                 alert = Alert("decode_failure", str(exc), key)
+            else:
+                if len(outputs) != 1:
+                    sink.record(ExitCode.IMPOSSIBLE)
+                    alert = Alert(
+                        "impossible",
+                        f"{len(outputs)} distinct outputs across "
+                        f"{len(decoders)} decoders x {attempts} attempts",
+                        key,
+                    )
+                else:
+                    self.auto_cleared += 1
+                    del self.quarantine[key]
+            if alert is not None:
                 self.pages.append(alert)
                 new_pages.append(alert)
-            else:
-                self.auto_cleared += 1
-                del self.quarantine[key]
-            self.timeout_queue.remove(key)
         return new_pages
 
     def page(self, kind: str, detail: str) -> Alert:

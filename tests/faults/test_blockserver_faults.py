@@ -1,0 +1,153 @@
+"""BlockServer crash/restart/slow/cancel semantics under fault injection."""
+
+from repro.faults.injector import FleetFaultInjector
+from repro.faults.plan import CrashFault, FaultPlan, SlowFault
+from repro.obs import MetricsRegistry
+from repro.storage.blockserver import BlockServer, Job
+from repro.storage.simclock import SimClock
+
+import pytest
+
+
+def _server(clock, registry=None, **kwargs):
+    if registry is None:
+        registry = MetricsRegistry()  # note: an empty registry is falsy
+    return BlockServer(clock, 0, registry=registry, **kwargs)
+
+
+class TestCrash:
+    def test_crash_loses_inflight_jobs(self):
+        clock = SimClock()
+        server = _server(clock)
+        failures = []
+        job = Job("lepton_encode", 10.0, 2, 0.0,
+                  on_fail=lambda j, reason: failures.append((j.job_id, reason)))
+        server.submit(job)
+        clock.after(1.0, server.crash)
+        clock.run_all()
+        assert failures == [(job.job_id, "crash")]
+        assert job.failed and job.fail_reason == "crash"
+        assert server.active_jobs == 0
+        assert not server.up
+        assert server.crashes == 1
+
+    def test_down_server_refuses_submissions(self):
+        clock = SimClock()
+        registry = MetricsRegistry()
+        server = _server(clock, registry=registry)
+        server.crash()
+        failures = []
+        job = Job("lepton_decode", 1.0, 2, 0.0,
+                  on_fail=lambda j, reason: failures.append(reason))
+        server.submit(job)
+        assert failures == ["refused"]
+        assert registry.counter("blockserver.refused", server=0).value == 1
+        assert server.active_jobs == 0
+
+    def test_restart_brings_it_back(self):
+        clock = SimClock()
+        server = _server(clock)
+        server.crash()
+        server.restart()
+        assert server.up
+        done = []
+        server.submit(Job("lepton_encode", 2.0, 2, 0.0,
+                          on_complete=lambda j: done.append(j.job_id)))
+        clock.run_all()
+        assert len(done) == 1
+
+    def test_fail_callback_fires_once(self):
+        calls = []
+        job = Job("other", 1.0, 1, 0.0,
+                  on_fail=lambda j, reason: calls.append(reason))
+        job.fail("crash")
+        job.fail("timeout")  # already failed: ignored
+        assert calls == ["crash"]
+        assert job.fail_reason == "crash"
+
+
+class TestSlow:
+    def test_slow_factor_stretches_latency(self):
+        def completion_time(factor):
+            clock = SimClock()
+            server = _server(clock)
+            if factor != 1.0:
+                server.set_slow(factor)
+            finish = []
+            server.submit(Job("lepton_encode", 8.0, 2, 0.0,
+                              on_complete=lambda j: finish.append(j.finish_time)))
+            clock.run_all()
+            return finish[0]
+
+        assert completion_time(4.0) == pytest.approx(4.0 * completion_time(1.0))
+
+    def test_slow_accounts_progress_at_old_speed(self):
+        clock = SimClock()
+        server = _server(clock)
+        finish = []
+        server.submit(Job("lepton_encode", 4.0, 2, 0.0,
+                          on_complete=lambda j: finish.append(j.finish_time)))
+        # Half the work done at full speed, the rest at quarter speed:
+        # 1s + 1s*4 = 5s total.
+        clock.after(1.0, lambda: server.set_slow(4.0))
+        clock.run_all()
+        assert finish[0] == pytest.approx(5.0)
+
+    def test_invalid_factor_rejected(self):
+        server = _server(SimClock())
+        with pytest.raises(ValueError):
+            server.set_slow(0.0)
+
+
+class TestCancel:
+    def test_cancel_removes_without_callbacks(self):
+        clock = SimClock()
+        server = _server(clock)
+        outcomes = []
+        job = Job("lepton_encode", 5.0, 2, 0.0,
+                  on_complete=lambda j: outcomes.append("done"),
+                  on_fail=lambda j, r: outcomes.append(r))
+        server.submit(job)
+        assert server.cancel(job.job_id)
+        clock.run_all()
+        assert outcomes == []
+        assert server.active_jobs == 0
+
+    def test_cancel_missing_job_is_false(self):
+        assert not _server(SimClock()).cancel(12345)
+
+
+class TestInjectorScheduling:
+    class _Sim:
+        def __init__(self):
+            self.clock = SimClock()
+            self.registry = MetricsRegistry()
+            self.blockservers = [
+                BlockServer(self.clock, i, registry=self.registry)
+                for i in range(2)
+            ]
+
+    def test_crash_and_restart_fire_on_schedule(self):
+        sim = self._Sim()
+        plan = FaultPlan(crashes=[CrashFault(time=5.0, server=0,
+                                             restart_after=10.0)])
+        FleetFaultInjector(plan, sim).arm()
+        sim.clock.run_until(6.0)
+        assert not sim.blockservers[0].up
+        sim.clock.run_until(16.0)
+        assert sim.blockservers[0].up
+        counts = {
+            labels["kind"]: c.value
+            for labels, c in sim.registry.series("faults.injected")
+        }
+        assert counts == {"crash": 1, "restart": 1}
+
+    def test_slow_window_applies_and_restores(self):
+        sim = self._Sim()
+        plan = FaultPlan(slowdowns=[SlowFault(start=2.0, duration=3.0,
+                                              server=1, factor=6.0)])
+        FleetFaultInjector(plan, sim).arm()
+        sim.clock.run_until(3.0)
+        assert sim.blockservers[1].slow_factor == 6.0
+        sim.clock.run_until(10.0)
+        assert sim.blockservers[1].slow_factor == 1.0

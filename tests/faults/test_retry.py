@@ -1,0 +1,115 @@
+"""RetryPolicy backoff/deadline and circuit-breaker state machine."""
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.storage.retry import (
+    BreakerBoard,
+    BreakerState,
+    CircuitBreaker,
+    RetryPolicy,
+)
+from repro.storage.simclock import SimClock
+
+
+class TestRetryPolicy:
+    def test_attempt_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(1)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)  # first try + two retries = 3
+
+    def test_deadline_budget_trumps_attempts(self):
+        policy = RetryPolicy(max_attempts=10, deadline=30.0)
+        assert policy.should_retry(1, elapsed=29.9)
+        assert not policy.should_retry(1, elapsed=30.0)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=5.0,
+                             jitter=0.0)
+        assert policy.backoff(1) == 1.0
+        assert policy.backoff(2) == 2.0
+        assert policy.backoff(3) == 4.0
+        assert policy.backoff(4) == 5.0  # capped
+
+    def test_jitter_is_seeded_and_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.5)
+        a = policy.backoff(1, np.random.default_rng(0))
+        b = policy.backoff(1, np.random.default_rng(0))
+        assert a == b  # same seed, same jitter
+        for seed in range(20):
+            delay = policy.backoff(1, np.random.default_rng(seed))
+            assert 0.5 <= delay <= 1.5
+
+    def test_attempt_numbers_are_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0)
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure(now=0.0)
+        breaker.record_failure(now=1.0)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(now=2.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow(now=3.0)
+
+    def test_half_open_after_reset_timeout(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60.0)
+        breaker.record_failure(now=0.0)
+        assert not breaker.allow(now=59.0)
+        assert breaker.allow(now=60.0)  # the probe
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0)
+        breaker.record_failure(now=0.0)
+        breaker.allow(now=10.0)
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.failures == 0
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=10.0)
+        for t in range(3):
+            breaker.record_failure(now=float(t))
+        breaker.allow(now=12.0)  # HALF_OPEN
+        breaker.record_failure(now=12.5)  # one failure re-opens
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow(now=13.0)
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure(now=0.0)
+        breaker.record_failure(now=1.0)
+        breaker.record_success()
+        breaker.record_failure(now=2.0)
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestBreakerBoard:
+    def test_breakers_are_per_target(self):
+        clock = SimClock()
+        board = BreakerBoard(clock, CircuitBreaker(failure_threshold=1),
+                             registry=MetricsRegistry())
+        board.failure(1)
+        assert not board.allow(1)
+        assert board.allow(2)  # server 2 unaffected
+        assert board.open_count() == 1
+        assert board.trip_count() == 1
+
+    def test_state_gauge_and_trip_counter(self):
+        clock = SimClock()
+        registry = MetricsRegistry()
+        board = BreakerBoard(clock, CircuitBreaker(failure_threshold=1),
+                             registry=registry)
+        board.failure(7)
+        assert registry.gauge("breaker.state", server=7).value == 1  # OPEN
+        assert registry.counter("breaker.trips", server=7).value == 1
+        board.success(7)
+        assert registry.gauge("breaker.state", server=7).value == 0

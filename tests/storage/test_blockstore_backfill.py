@@ -190,6 +190,49 @@ class TestBackfillWorker:
         assert codes[ExitCode.PROGRESSIVE] == 1
         assert codes[ExitCode.NOT_AN_IMAGE] == 1
 
+    def _flaky_worker(self, bad_attempts, retry=None):
+        """A worker whose compressor emits a valid-but-wrong payload for
+        the first ``bad_attempts`` attempts (the §6.6 flaky-machine case:
+        verification fails, the chunk itself is fine)."""
+        from repro.core.lepton import compress
+        from repro.storage.retry import RetryPolicy
+
+        jpeg = corpus_jpeg(seed=77, height=48, width=48)
+        decoy = corpus_jpeg(seed=78, height=48, width=48)
+        calls = {"n": 0}
+
+        def flaky_compress(chunk, config):
+            calls["n"] += 1
+            source = decoy if calls["n"] <= bad_attempts else chunk
+            return compress(source, config)
+
+        meta = Metaserver({1: [UserFile("a.jpg", jpeg)]}, n_shards=1,
+                          chunk_size=1 << 20)
+        uploaded = {}
+        worker = BackfillWorker(
+            meta, uploaded.__setitem__, LeptonConfig(threads=1),
+            retry=retry or RetryPolicy(max_attempts=3),
+            compress_fn=flaky_compress)
+        return worker, uploaded
+
+    def test_verification_retry_rescues_flaky_machine(self):
+        worker, uploaded = self._flaky_worker(bad_attempts=1)
+        worker.process_shard(0)
+        assert worker.stats.retries == 1
+        assert worker.stats.verification_failures == 0
+        assert len(uploaded) == 1
+        assert worker.registry.counter("backfill.retries").value == 1
+
+    def test_exhausted_retries_count_verification_failure(self):
+        from repro.storage.retry import RetryPolicy
+
+        worker, uploaded = self._flaky_worker(
+            bad_attempts=99, retry=RetryPolicy(max_attempts=2))
+        worker.process_shard(0)
+        assert worker.stats.retries == 1  # one granted retry, then give up
+        assert worker.stats.verification_failures == 1
+        assert uploaded == {}  # a failed chunk is never uploaded
+
 
 class TestDropSpot:
     def test_allocates_above_threshold(self):

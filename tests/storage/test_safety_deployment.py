@@ -106,6 +106,75 @@ class TestAlertPipeline:
         assert pipeline.pages[0].kind == "assert_failed"
 
 
+class TestTriageEdges:
+    """The triage queue's awkward corners: empty drains, duplicate
+    reports, re-checks that themselves misbehave."""
+
+    def test_empty_queue_drains_to_nothing(self):
+        pipeline = AlertPipeline()
+        assert pipeline.drain_timeout_queue() == []
+        assert pipeline.auto_cleared == 0
+
+    def test_duplicate_reports_triage_once(self):
+        data = corpus_jpeg(seed=82, height=48, width=48)
+        payload = compress(data, LeptonConfig(threads=1)).payload
+        pipeline = AlertPipeline()
+        pipeline.report_timeout("dup", payload)
+        pipeline.report_timeout("dup", payload)  # paged twice, one chunk
+        assert pipeline.drain_timeout_queue() == []
+        assert pipeline.auto_cleared == 1
+        assert "dup" not in pipeline.quarantine
+
+    def test_recheck_that_times_out_pages_and_keeps_evidence(self):
+        """A chunk that still times out on healthy isolated hardware is a
+        real problem: page, record TIMEOUT, keep the quarantined bytes."""
+        from repro.core.errors import ExitCode, TimeoutExceeded
+        from repro.obs import MetricsRegistry
+
+        def stuck(_payload):
+            raise TimeoutExceeded("decode exceeded 5.0s on recheck host")
+
+        registry = MetricsRegistry()
+        pipeline = AlertPipeline(registry=registry)
+        pipeline.report_timeout("slow", b"payload under test")
+        pages = pipeline.drain_timeout_queue(decoders=[stuck])
+        assert [p.kind for p in pages] == ["decode_timeout"]
+        assert "slow" in pipeline.quarantine
+        assert registry.counter("safety.triage.exit_codes",
+                                code=ExitCode.TIMEOUT.value).value == 1
+
+    def test_nondeterministic_decoders_hit_the_impossible_bucket(self):
+        """Decoders that disagree broke the determinism invariant itself —
+        the §6.2 'impossible' exit code, not a decode failure."""
+        from repro.core.errors import ExitCode
+        from repro.obs import MetricsRegistry
+
+        outputs = iter(b"%d" % i for i in range(100))
+
+        registry = MetricsRegistry()
+        pipeline = AlertPipeline(registry=registry)
+        pipeline.report_timeout("flaky", b"payload under test")
+        pages = pipeline.drain_timeout_queue(
+            decoders=[lambda _p: next(outputs)])
+        assert [p.kind for p in pages] == ["impossible"]
+        assert "distinct outputs" in pages[0].detail
+        assert "flaky" in pipeline.quarantine
+        assert registry.counter("safety.triage.exit_codes",
+                                code=ExitCode.IMPOSSIBLE.value).value == 1
+
+    def test_harness_errors_propagate(self):
+        """A broken recheck harness must crash the triage job, not be
+        recorded as a decode failure."""
+        pipeline = AlertPipeline()
+        pipeline.report_timeout("x", b"payload")
+
+        def broken(_payload):
+            raise OSError("recheck cluster unreachable")
+
+        with pytest.raises(OSError):
+            pipeline.drain_timeout_queue(decoders=[broken])
+
+
 class TestQualification:
     def test_clean_corpus_qualifies(self):
         corpus = build_corpus(n_jpegs=4, seed=82)
@@ -165,6 +234,20 @@ class TestDeployment:
         assert 0.95 < report.availability < 1.0  # ≈99.7% in the paper
         assert report.failed_decodes > 0
         assert report.files_needing_reencode >= 1
+
+    def test_reencode_count_is_the_true_cross_failure_count(self):
+        """files_needing_reencode is exactly the cross-server failure
+        count — not clamped to a minimum of one."""
+        registry = self._registry()
+        report = simulate_rollback_incident(registry, seed=5)
+        assert report.files_needing_reencode == report.cross_server_failures
+
+    def test_reencode_count_can_be_zero(self):
+        registry = self._registry()
+        report = simulate_rollback_incident(registry, strict_reject_rate=0.0,
+                                            seed=5)
+        assert report.cross_server_failures == 0
+        assert report.files_needing_reencode == 0
 
     def test_remediation_scan_counts(self):
         scanned, reencoded = remediation_scan([2, 2, 2, 0, 2, 1], 2)
