@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint lint-json lint-tests chaos
+.PHONY: test lint lint-json lint-tests chaos serve serve-tests serve-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -26,3 +26,17 @@ lint-json:
 # fixture corpus, reporter schema).
 lint-tests:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m lint
+
+# The HTTP front-end (docs/serve.md).  `serve` runs it on port 8080;
+# `serve-smoke` boots an in-process server on an ephemeral port,
+# round-trips one fig. 1 corpus file over a real socket (full + ranged
+# GET), and scrapes /metrics — the one-command "is the service alive"
+# gate CI runs.
+serve:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli serve --port 8080
+
+serve-tests:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m serve
+
+serve-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.serve.smoke

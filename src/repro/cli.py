@@ -29,6 +29,23 @@ from repro.obs import get_registry, get_tracer
 # once, replacing the import-time runtime guard that used to live here.
 from repro.obs.exitcodes import EXIT_STATUS
 
+#: The subcommand registry: feeds both argparse ``choices=`` and the
+#: generated ``--help`` epilog, so the two can never drift apart.
+COMMANDS = {
+    "compress": "recompress a JPEG (or Deflate-fallback any file)",
+    "decompress": "restore the original bytes from a compressed stream",
+    "verify": "run the §5.5 round-trip admission gate on one file",
+    "qualify": "run the §5.7 build-qualification gate over a directory",
+    "stats": "compress+decompress one file purely for its telemetry",
+    "lint": "run the determinism/safety static analysis (docs/lint.md)",
+    "chaos": "replay a fault plan against the simulated fleet",
+    "serve": "run the HTTP storage front-end (docs/serve.md)",
+}
+
+#: Commands with no input-path positional (the CLI injects a placeholder
+#: to keep the flat positional grammar intact for everything else).
+NO_INPUT_COMMANDS = ("chaos", "serve")
+
 
 def _read(path: str) -> bytes:
     if path == "-":
@@ -154,7 +171,52 @@ def _chaos(args) -> int:
     return 1 if report.wrong_bytes else 0
 
 
+def _serve(args, config: LeptonConfig) -> int:
+    """Run the HTTP front-end until SIGTERM, then drain (exit 7, §6.2)."""
+    import asyncio
+    import signal
+
+    from repro.faults.plan import FaultPlan
+    from repro.serve.app import ServeConfig, run_server
+
+    plan = None
+    if args.fault_plan is not None:
+        with open(args.fault_plan, "r") as handle:
+            plan = FaultPlan.from_json(handle.read())
+    serve_config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        quota_bytes=args.quota_bytes,
+        lepton=config,
+        drain_timeout=args.drain_timeout,
+        shutoff_dir=args.shutoff_dir,
+        fault_plan=plan,
+        fault_seed=args.seed,
+    )
+
+    async def _run() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        loop.add_signal_handler(signal.SIGTERM, stop.set)
+
+        def _ready(server) -> None:
+            print(f"serving on http://{server.config.host}:{server.port}",
+                  file=sys.stderr)
+
+        await run_server(serve_config, stop=stop, on_ready=_ready)
+
+    asyncio.run(_run())
+    if not args.quiet:
+        print("lepton: drained, shutting down", file=sys.stderr)
+    return EXIT_STATUS[ExitCode.SERVER_SHUTDOWN]
+
+
 def _dispatch(args, config: LeptonConfig) -> int:
+    if args.command == "serve":
+        return _serve(args, config)
+
     if args.command == "chaos":
         return _chaos(args)
 
@@ -227,16 +289,21 @@ def _dispatch(args, config: LeptonConfig) -> int:
 
 
 def main(argv=None) -> int:
+    # The epilog is generated from COMMANDS, so ``lepton --help`` always
+    # enumerates exactly the subcommands the parser accepts.
+    epilog = "commands:\n" + "\n".join(
+        f"  {name:<12}{help_line}" for name, help_line in COMMANDS.items()
+    )
     parser = argparse.ArgumentParser(
         prog="lepton",
         description="Losslessly recompress baseline JPEG files (NSDI 2017 reproduction).",
+        epilog=epilog,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("command",
-                        choices=["compress", "decompress", "verify", "qualify",
-                                 "stats", "lint", "chaos"])
+    parser.add_argument("command", choices=sorted(COMMANDS))
     parser.add_argument("input",
                         help="input path (- for stdin); for qualify/lint: "
-                             "a directory; unused by chaos")
+                             "a directory; unused by chaos/serve")
     parser.add_argument("output", nargs="?", default=None,
                         help="output path, or - for stdout")
     parser.add_argument("--threads", type=int, default=None,
@@ -264,10 +331,29 @@ def main(argv=None) -> int:
     parser.add_argument("--no-policies", action="store_true",
                         help="for chaos: disable retry/hedging/breakers/"
                              "fallback (the control run)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="for serve: bind address")
+    parser.add_argument("--port", type=int, default=0,
+                        help="for serve: bind port (0 = ephemeral)")
+    parser.add_argument("--max-inflight", type=int, default=8,
+                        help="for serve: concurrent file requests admitted")
+    parser.add_argument("--queue-depth", type=int, default=16,
+                        help="for serve: admission waiters before 503")
+    parser.add_argument("--quota-bytes", type=int, default=None,
+                        help="for serve: per-tenant logical byte budget")
+    parser.add_argument("--fault-plan", metavar="PATH", default=None,
+                        help="for serve: a FaultPlan JSON file injected "
+                             "live (see docs/deployment.md)")
+    parser.add_argument("--drain-timeout", type=float, default=30.0,
+                        help="for serve: seconds granted to in-flight "
+                             "requests on SIGTERM")
+    parser.add_argument("--shutoff-dir", metavar="DIR", default=None,
+                        help="for serve: directory watched for the §5.7 "
+                             "shutoff file (default: system temp)")
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "chaos" and (len(argv) == 1
-                                        or argv[1].startswith("-")):
-        # chaos takes no input path; inject a placeholder so the flat
+    if argv and argv[0] in NO_INPUT_COMMANDS and (len(argv) == 1
+                                                  or argv[1].startswith("-")):
+        # chaos/serve take no input path; inject a placeholder so the flat
         # positional grammar stays intact for every other command
         # (argparse's greedy matching breaks on optional positionals
         # when flags are interleaved, e.g. ``lint --json PATH``).

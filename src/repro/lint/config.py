@@ -47,15 +47,20 @@ DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
         "repro.storage.backfill",
         "repro.storage.qualification",
         "repro.storage.retry",
+        "repro.storage.quotas",
         "repro.faults.*",
+        "repro.serve.*",
     ),
+    # repro.serve is deliberately absent from D2: a live network server
+    # legitimately reads wall clocks (same carve-out as repro.cli).
     "D5": ("repro.core.*", "repro.storage.*", "repro.corpus.*", "repro.obs.*",
-           "repro.faults.*"),
+           "repro.faults.*", "repro.serve.*"),
     # Everywhere the Lepton pipeline is consumed.  repro.baselines is out of
     # scope by design: the comparison codecs (§2) are independent coders and
     # legitimately own their own BoolEncoder loops.
     "D6": ("repro.core.*", "repro.storage.*", "repro.corpus.*",
-           "repro.analysis.*", "repro.cli", "repro.obs.*", "repro.faults.*"),
+           "repro.analysis.*", "repro.cli", "repro.obs.*", "repro.faults.*",
+           "repro.serve.*"),
 }
 
 

@@ -1,0 +1,35 @@
+"""``lepton serve``: the asyncio HTTP storage front-end.
+
+See ``docs/serve.md`` for the API contract (endpoints, status codes,
+metrics) — it is enforced both ways by ``tests/test_docs.py``.
+"""
+
+from repro.serve.admission import AdmissionGate, Saturated
+from repro.serve.app import (
+    DEFAULT_TENANT,
+    ENDPOINTS,
+    TENANT_HEADER,
+    LeptonServer,
+    ServeConfig,
+    run_server,
+)
+from repro.serve.client import Response, ServeClient
+from repro.serve.faults import LiveFaultInjector
+from repro.serve.http import MAX_HEAD_BYTES, STATUS_REASONS, HttpError
+
+__all__ = [
+    "AdmissionGate",
+    "DEFAULT_TENANT",
+    "ENDPOINTS",
+    "HttpError",
+    "LeptonServer",
+    "LiveFaultInjector",
+    "MAX_HEAD_BYTES",
+    "Response",
+    "STATUS_REASONS",
+    "Saturated",
+    "ServeClient",
+    "ServeConfig",
+    "TENANT_HEADER",
+    "run_server",
+]

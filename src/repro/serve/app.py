@@ -1,0 +1,481 @@
+"""``lepton serve``: the asyncio HTTP storage front-end.
+
+Everything below PR 3's streaming substrate already existed — compression
+sessions, the verified chunk store, degraded reads, quotas.  This module
+is the network skin over it: five endpoints (`ENDPOINTS`), a closed set of
+status codes (:data:`~repro.serve.http.STATUS_REASONS`), admission
+control at the door, §5.7's shutoff switch and graceful drain, and live
+fault injection from a PR-4 plan.  The full API contract lives in
+``docs/serve.md`` and is enforced both ways by ``tests/test_docs.py``.
+
+Design notes:
+
+* The event loop never runs codec work: compress/decode execute on the
+  default thread executor (GIL-bound, but the loop stays responsive), so
+  concurrent requests genuinely meet at the admission gate — saturation
+  sheds immediate ``503``s instead of silently serializing in socket
+  buffers — and ``/healthz`` answers while the codec is busy.
+* A GET never serves a wrong byte: every streamed piece sits behind the
+  block store's two digest gates.  A verification failure *after* the
+  response head has been written aborts the connection — the client sees
+  a short read against ``Content-Length``, never silently bad bytes.
+* Every ``serve.*`` instrument is created at startup, so a scrape of a
+  freshly booted server already shows the whole metric surface.
+"""
+
+import asyncio
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Set, Tuple
+
+from repro.core.lepton import FORMAT_LEPTON, LeptonConfig
+from repro.faults.plan import FaultPlan
+from repro.obs import MetricsRegistry, get_registry
+from repro.serve.admission import AdmissionGate, Saturated
+from repro.serve.faults import LiveFaultInjector
+from repro.serve.http import (
+    HttpError,
+    Request,
+    json_body,
+    parse_range,
+    read_request,
+    render_head,
+)
+from repro.storage.blockstore import BlockStore, IntegrityError
+from repro.storage.quotas import QuotaBoard, QuotaExceeded
+from repro.storage.retry import RetryPolicy
+from repro.storage.safety import ShutoffSwitch
+
+#: The documented API surface: every (method, route) the server answers.
+#: ``tests/test_docs.py`` diffs this against the docs/serve.md endpoint
+#: table in both directions.
+ENDPOINTS: Tuple[Tuple[str, str], ...] = (
+    ("PUT", "/files"),
+    ("GET", "/files/{id}"),
+    ("GET", "/healthz"),
+    ("GET", "/metrics"),
+    ("GET", "/tenants"),
+)
+
+#: Header naming the tenant a request is accounted to.
+TENANT_HEADER = "x-lepton-tenant"
+DEFAULT_TENANT = "default"
+
+_READ_PIECE = 64 * 1024
+
+#: End-of-stream marker for pulling a sync generator through the executor.
+_DONE = object()
+
+
+@dataclass
+class ServeConfig:
+    """Knobs for one server instance (CLI flags map 1:1 onto these)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0 = let the OS pick
+    max_inflight: int = 8
+    queue_depth: int = 16
+    retry_after: int = 1               # seconds, on every 503
+    quota_bytes: Optional[int] = None  # per-tenant logical budget
+    max_file_bytes: int = 64 * 1024 * 1024
+    chunk_size: int = 1 << 22          # the production 4 MiB
+    lepton: LeptonConfig = field(default_factory=LeptonConfig)
+    keep_originals: bool = True
+    read_retry_attempts: int = 2
+    drain_timeout: float = 30.0
+    shutoff_dir: Optional[str] = None
+    fault_plan: Optional[FaultPlan] = None
+    fault_seed: int = 0
+
+
+class LeptonServer:
+    """The HTTP front-end over a :class:`BlockStore` (one per process)."""
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 registry: Optional[MetricsRegistry] = None):
+        self.config = config or ServeConfig()
+        self.registry = registry if registry is not None else get_registry()
+        self.quotas = QuotaBoard(limit_bytes=self.config.quota_bytes)
+        self.injector = (
+            LiveFaultInjector(self.config.fault_plan,
+                              seed=self.config.fault_seed,
+                              registry=self.registry)
+            if self.config.fault_plan is not None else None
+        )
+        self.store = BlockStore(
+            chunk_size=self.config.chunk_size,
+            config=self.config.lepton,
+            keep_originals=self.config.keep_originals,
+            read_retry=RetryPolicy(
+                max_attempts=self.config.read_retry_attempts),
+            read_fault=(self.injector.read_fault
+                        if self.injector is not None else None),
+            quotas=self.quotas,
+        )
+        self.shutoff = ShutoffSwitch(directory=self.config.shutoff_dir)
+        self.gate = AdmissionGate(self.config.max_inflight,
+                                  self.config.queue_depth, self.registry)
+        self.draining = False
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._t0 = time.monotonic()
+        self._declare_metrics()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._t0 = time.monotonic()
+
+    async def drain(self) -> None:
+        """Graceful §5.7 drain: refuse new work, finish in-flight, close.
+
+        In-flight requests get ``drain_timeout`` seconds to finish; after
+        that, surviving connections are severed (an operator's drain must
+        terminate even when a client never reads its response).
+        """
+        start = time.monotonic()
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+        await self.gate.drained(timeout=self.config.drain_timeout)
+        for writer in list(self._connections):
+            writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+        self.registry.histogram("serve.drain.seconds").observe(
+            time.monotonic() - start
+        )
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Run until ``stop`` is set, then drain."""
+        if self._server is None:
+            await self.start()
+        try:
+            await stop.wait()
+        finally:
+            await self.drain()
+
+    def _now(self) -> float:
+        """Seconds since server start — the fault plan's time base."""
+        return time.monotonic() - self._t0
+
+    def _declare_metrics(self) -> None:
+        """Create every serve.* instrument so scrape #1 shows the surface."""
+        registry = self.registry
+        registry.counter("serve.requests",
+                         method="GET", route="/healthz", status="200")
+        registry.counter("serve.bytes_in")
+        registry.counter("serve.bytes_out")
+        registry.counter("serve.files.stored")
+        registry.counter("serve.admission.rejected")
+        registry.counter("serve.quota.rejected")
+        registry.gauge("serve.inflight")
+        registry.gauge("serve.admission.queue_depth")
+        for _, route in ENDPOINTS:
+            registry.histogram("serve.request.seconds", route=route)
+        registry.histogram("serve.ttfb_seconds")
+        registry.histogram("serve.drain.seconds")
+
+    # -- connection handling ----------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    await self._send_error(writer, None, "*", exc)
+                    break
+                if request is None:
+                    break
+                keep = await self._handle(request, reader, writer)
+                if not keep or self.draining:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing left to say
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle(self, request: Request, reader, writer) -> bool:
+        """Dispatch one request; returns whether to keep the connection."""
+        started = time.monotonic()
+        route = "*"
+        try:
+            route = self._route(request)
+            if self.injector is not None and route.startswith("/files"):
+                if self.injector.should_drop(self._now()):
+                    return False  # severed: the plan's network-loss window
+                delay = self.injector.response_delay(self._now())
+                if delay:
+                    await asyncio.sleep(delay)
+            if route == "/healthz":
+                await self._get_healthz(request, writer)
+            elif route == "/metrics":
+                await self._get_metrics(request, writer)
+            elif route == "/tenants":
+                await self._get_tenants(request, writer)
+            elif route == "/files":
+                await self._put_file(request, reader, writer)
+            elif route == "/files/{id}":
+                await self._get_file(request, writer)
+            else:
+                raise HttpError(404, "not_found", f"no route for {request.path}")
+        except HttpError as exc:
+            await self._send_error(writer, request, route, exc)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            raise
+        except IntegrityError as exc:
+            # Verification failed mid-stream, after the head went out:
+            # abort rather than complete a response with unverified bytes.
+            self._count(request.method, route, "aborted")
+            raise ConnectionResetError(str(exc)) from exc
+        except Exception as exc:
+            await self._send_error(
+                writer, request, route,
+                HttpError(500, "internal_error", f"{type(exc).__name__}: {exc}"),
+            )
+        finally:
+            self.registry.histogram("serve.request.seconds",
+                                    route=route).observe(
+                time.monotonic() - started
+            )
+        return request.keep_alive and not request.body_pending
+
+    def _route(self, request: Request) -> str:
+        """Map a request to its route pattern, enforcing allowed methods."""
+        path = request.path.rstrip("/") or "/"
+        for exact in ("/healthz", "/metrics", "/tenants"):
+            if path == exact:
+                if request.method != "GET":
+                    raise HttpError(405, "method_not_allowed",
+                                    f"{request.method} {exact}",
+                                    headers={"Allow": "GET"})
+                return exact
+        if path == "/files":
+            if request.method != "PUT":
+                raise HttpError(405, "method_not_allowed",
+                                f"{request.method} /files",
+                                headers={"Allow": "PUT"})
+            return "/files"
+        if path.startswith("/files/"):
+            if request.method != "GET":
+                raise HttpError(405, "method_not_allowed",
+                                f"{request.method} /files/{{id}}",
+                                headers={"Allow": "GET"})
+            return "/files/{id}"
+        raise HttpError(404, "not_found", f"no route for {request.path}")
+
+    # -- responses ---------------------------------------------------------
+
+    def _count(self, method: str, route: str, status) -> None:
+        self.registry.counter("serve.requests", method=method, route=route,
+                              status=str(status)).inc()
+
+    async def _send(self, writer, request: Optional[Request], route: str,
+                    status: int, body: bytes, headers: dict) -> None:
+        writer.write(render_head(status, headers, content_length=len(body)))
+        writer.write(body)
+        await writer.drain()
+        method = request.method if request is not None else "?"
+        self._count(method, route, status)
+
+    async def _send_error(self, writer, request, route,
+                          exc: HttpError) -> None:
+        body, headers = json_body(
+            {"error": exc.error, "detail": exc.detail}
+        )
+        headers.update(exc.headers)
+        if exc.status == 503 and "Retry-After" not in headers:
+            headers["Retry-After"] = str(self.config.retry_after)
+        if request is not None and request.body_pending:
+            # Rejected before its body was read (quota, saturation,
+            # shutoff…): the unread bytes would desync keep-alive framing.
+            headers["Connection"] = "close"
+        await self._send(writer, request, route, exc.status, body, headers)
+
+    # -- endpoints ---------------------------------------------------------
+
+    async def _get_healthz(self, request, writer) -> None:
+        if self.draining:
+            state, status = "draining", 503
+        elif self.shutoff.engaged:
+            state, status = "shutoff", 503
+        else:
+            state, status = "ok", 200
+        body, headers = json_body({"status": state})
+        if status == 503:
+            headers["Retry-After"] = str(self.config.retry_after)
+        await self._send(writer, request, "/healthz", status, body, headers)
+
+    async def _get_metrics(self, request, writer) -> None:
+        text = self.registry.render() + "\n"
+        await self._send(writer, request, "/metrics", 200, text.encode(),
+                         {"Content-Type": "text/plain; charset=utf-8"})
+
+    async def _get_tenants(self, request, writer) -> None:
+        body, headers = json_body({
+            "limit_bytes": self.quotas.limit_bytes,
+            "tenants": self.quotas.snapshot(),
+        })
+        await self._send(writer, request, "/tenants", 200, body, headers)
+
+    async def _put_file(self, request, reader, writer) -> None:
+        if self.draining:
+            raise HttpError(503, "draining", "server is draining")
+        if self.shutoff.engaged:
+            # §5.7: the kill file disables *encoding*; reads stay up.
+            raise HttpError(503, "shutoff", "encoding disabled by shutoff switch")
+        try:
+            async with self.gate:
+                await self._put_file_admitted(request, reader, writer)
+        except Saturated as exc:
+            raise HttpError(503, "saturated", str(exc)) from exc
+
+    async def _put_file_admitted(self, request, reader, writer) -> None:
+        length = request.content_length
+        if length is None:
+            raise HttpError(411, "length_required",
+                            "PUT /files requires Content-Length")
+        if length > self.config.max_file_bytes:
+            raise HttpError(413, "file_too_large",
+                            f"{length} > {self.config.max_file_bytes} bytes")
+        tenant = request.headers.get(TENANT_HEADER, DEFAULT_TENANT)
+        try:
+            self.quotas.reserve(tenant, length)
+        except QuotaExceeded as exc:
+            self.registry.counter("serve.quota.rejected").inc()
+            raise HttpError(413, "quota_exceeded", str(exc)) from exc
+        try:
+            data = await self._read_body(reader, length)
+        except Exception:
+            self.quotas.release(tenant, length)
+            raise
+        request.body_consumed = True
+        self.registry.counter("serve.bytes_in").inc(length)
+        file_id = hashlib.sha256(data).hexdigest()
+        existed = file_id in self.store.files
+        loop = asyncio.get_running_loop()
+        try:
+            # Chunk + compress + verify off the event loop: the gate, not
+            # the codec, decides what the next connection experiences.
+            record = await loop.run_in_executor(
+                None, lambda: self.store.put_file(
+                    file_id, data, tenant=tenant, reserved=length))
+        except QuotaExceeded as exc:  # pragma: no cover - reserve covered it
+            self.registry.counter("serve.quota.rejected").inc()
+            raise HttpError(413, "quota_exceeded", str(exc)) from exc
+        if self.injector is not None:
+            self.injector.corrupt_after_put(self.store)
+        if not existed:
+            self.registry.counter("serve.files.stored").inc()
+        stored = sum(len(self.store.entries[key].chunk.payload)
+                     for key in record.chunk_keys)
+        formats = {self.store.entries[key].chunk.format
+                   for key in record.chunk_keys}
+        body, headers = json_body({
+            "id": file_id,
+            "bytes": record.size,
+            "stored_bytes": stored,
+            "chunks": len(record.chunk_keys),
+            "format": (FORMAT_LEPTON if formats == {FORMAT_LEPTON}
+                       else "/".join(sorted(formats)) if formats else "empty"),
+            "savings": (1.0 - stored / record.size) if record.size else 0.0,
+            "tenant": tenant,
+        })
+        headers["Location"] = f"/files/{file_id}"
+        await self._send(writer, request, "/files",
+                         200 if existed else 201, body, headers)
+
+    async def _read_body(self, reader, length: int) -> bytes:
+        pieces = []
+        remaining = length
+        while remaining:
+            piece = await reader.read(min(_READ_PIECE, remaining))
+            if not piece:
+                raise HttpError(400, "bad_request",
+                                f"body truncated at {length - remaining}"
+                                f"/{length} bytes")
+            pieces.append(piece)
+            remaining -= len(piece)
+        return b"".join(pieces)
+
+    async def _get_file(self, request, writer) -> None:
+        if self.draining:
+            raise HttpError(503, "draining", "server is draining")
+        try:
+            async with self.gate:
+                await self._get_file_admitted(request, writer)
+        except Saturated as exc:
+            raise HttpError(503, "saturated", str(exc)) from exc
+
+    async def _get_file_admitted(self, request, writer) -> None:
+        started = time.monotonic()
+        file_id = request.path.rstrip("/").rsplit("/", 1)[-1]
+        record = self.store.files.get(file_id)
+        if record is None:
+            raise HttpError(404, "not_found", f"no file {file_id!r}")
+        window = parse_range(request.headers.get("range"), record.size)
+        headers = {
+            "Content-Type": "image/jpeg",
+            "Accept-Ranges": "bytes",
+        }
+        if window is None:
+            start, stop, status = 0, record.size, 200
+        else:
+            start, stop = window
+            status = 206
+            headers["Content-Range"] = f"bytes {start}-{stop - 1}/{record.size}"
+        writer.write(render_head(status, headers,
+                                 content_length=stop - start))
+        first = True
+        sent = 0
+        loop = asyncio.get_running_loop()
+        pieces = self.store.stream_range(file_id, start, stop)
+        while True:
+            # Each chunk decodes on the executor; the loop stays free and
+            # the first decoded piece still streams out ahead of the rest.
+            piece = await loop.run_in_executor(None, next, pieces, _DONE)
+            if piece is _DONE:
+                break
+            if first:
+                first = False
+                self.registry.histogram("serve.ttfb_seconds").observe(
+                    time.monotonic() - started
+                )
+            writer.write(piece)
+            sent += len(piece)
+            await writer.drain()
+        await writer.drain()
+        self.registry.counter("serve.bytes_out").inc(sent)
+        self._count(request.method, "/files/{id}", status)
+
+
+async def run_server(config: ServeConfig,
+                     stop: Optional[asyncio.Event] = None,
+                     on_ready=None) -> LeptonServer:
+    """Start a server, run until ``stop`` is set, drain, and return it.
+
+    ``on_ready(server)`` fires once the socket is bound (the CLI prints
+    the chosen port there; tests wire their client to it).
+    """
+    server = LeptonServer(config)
+    await server.start()
+    if on_ready is not None:
+        on_ready(server)
+    if stop is None:
+        stop = asyncio.Event()
+    await server.serve_until(stop)
+    return server

@@ -1,0 +1,122 @@
+"""A small asyncio HTTP/1.1 client for ``lepton serve``.
+
+Used by the test suite, ``repro.serve.smoke``, the runnable blocks in
+``docs/serve.md``, and ``benchmarks/bench_serve_latency.py`` — all of
+which need the same three things a general client library would bury:
+keep-alive reuse, a measured time-to-first-byte, and zero dependencies.
+"""
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class Response:
+    """One complete HTTP response, body fully read."""
+
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    #: Seconds from request written to first body byte read (None for
+    #: bodiless responses).
+    ttfb: Optional[float] = None
+
+    def json(self) -> dict:
+        return json.loads(self.body.decode())
+
+
+class ServeClient:
+    """One keep-alive connection to a server; reconnects transparently."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = self._writer = None
+
+    async def __aenter__(self):
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb):
+        await self.close()
+        return False
+
+    async def request(self, method: str, target: str,
+                      body: bytes = b"",
+                      headers: Optional[Dict[str, str]] = None) -> Response:
+        """Issue one request; retries once on a dead kept-alive socket."""
+        try:
+            if self._writer is None:
+                await self._connect()
+            return await self._round_trip(method, target, body, headers or {})
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            await self.close()
+            await self._connect()
+            return await self._round_trip(method, target, body, headers or {})
+
+    async def _round_trip(self, method, target, body, headers) -> Response:
+        lines = [f"{method} {target} HTTP/1.1",
+                 f"Host: {self.host}:{self.port}"]
+        if body or method in ("PUT", "POST"):
+            lines.append(f"Content-Length: {len(body)}")
+        for name, value in headers.items():
+            lines.append(f"{name}: {value}")
+        self._writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        self._writer.write(body)
+        started = time.monotonic()
+        await self._writer.drain()
+
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        head_lines = head.decode("latin-1").split("\r\n")
+        status = int(head_lines[0].split(" ")[1])
+        resp_headers: Dict[str, str] = {}
+        for line in head_lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            resp_headers[name.strip().lower()] = value.strip()
+
+        length = int(resp_headers.get("content-length", "0"))
+        ttfb = None
+        pieces = []
+        remaining = length
+        while remaining:
+            piece = await self._reader.read(min(64 * 1024, remaining))
+            if not piece:
+                raise asyncio.IncompleteReadError(b"".join(pieces), length)
+            if ttfb is None:
+                ttfb = time.monotonic() - started
+            pieces.append(piece)
+            remaining -= len(piece)
+        response = Response(status=status, headers=resp_headers,
+                            body=b"".join(pieces), ttfb=ttfb)
+        if resp_headers.get("connection", "").lower() == "close":
+            await self.close()
+        return response
+
+    async def put_file(self, data: bytes,
+                       tenant: Optional[str] = None) -> Response:
+        headers = {"x-lepton-tenant": tenant} if tenant else {}
+        return await self.request("PUT", "/files", body=data, headers=headers)
+
+    async def get_file(self, file_id: str,
+                       byte_range: Optional[str] = None) -> Response:
+        headers = {"Range": byte_range} if byte_range else {}
+        return await self.request("GET", f"/files/{file_id}", headers=headers)

@@ -1,0 +1,179 @@
+"""Minimal HTTP/1.1 over asyncio streams (the ``lepton serve`` wire layer).
+
+Hand-rolled on purpose: the repository takes no new dependencies, and the
+service needs only the slice of HTTP/1.1 that a storage front-end speaks —
+request line + headers, ``Content-Length`` bodies, single-range ``Range``
+headers, keep-alive, and streamed fixed-length responses.  Everything the
+server can emit is enumerated here: :data:`STATUS_REASONS` is the closed
+set of status codes (``docs/serve.md`` lists each one; ``tests/test_docs.py``
+diffs the two directions), so an undocumented status cannot ship.
+"""
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Longest accepted request head (request line + headers), bytes.
+MAX_HEAD_BYTES = 16 * 1024
+
+#: Every status code the server emits — the documented API surface.
+STATUS_REASONS: Dict[int, str] = {
+    200: "OK",
+    201: "Created",
+    206: "Partial Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    416: "Range Not Satisfiable",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request failure with a definite status code and JSON error body."""
+
+    def __init__(self, status: int, error: str, detail: str = "",
+                 headers: Optional[Dict[str, str]] = None):
+        super().__init__(f"{status} {error}: {detail}")
+        self.status = status
+        self.error = error
+        self.detail = detail
+        self.headers = headers or {}
+
+
+@dataclass
+class Request:
+    """One parsed request head; the body stays on the reader."""
+
+    method: str
+    path: str
+    query: str
+    version: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    #: Set by the handler once the declared body has been read off the
+    #: stream; a response sent while this is False must close the
+    #: connection (the unread body would desync keep-alive framing).
+    body_consumed: bool = False
+
+    @property
+    def body_pending(self) -> bool:
+        try:
+            length = self.content_length
+        except HttpError:
+            return True
+        return bool(length) and not self.body_consumed
+
+    @property
+    def content_length(self) -> Optional[int]:
+        raw = self.headers.get("content-length")
+        if raw is None:
+            return None
+        try:
+            length = int(raw)
+        except ValueError:
+            raise HttpError(400, "bad_request",
+                            f"unparseable Content-Length {raw!r}")
+        if length < 0:
+            raise HttpError(400, "bad_request", "negative Content-Length")
+        return length
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request head; ``None`` on a clean EOF between requests."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "bad_request", "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(400, "bad_request", "request head too large") from exc
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpError(400, "bad_request", "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, "bad_request", f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise HttpError(400, "bad_request", f"unsupported version {version!r}")
+    path, _, query = target.partition("?")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, "bad_request", f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        # Chunked ingest is out of scope; the contract requires a declared
+        # Content-Length so quota can reject before the body crosses.
+        raise HttpError(411, "length_required",
+                        "Transfer-Encoding is unsupported; send Content-Length")
+    return Request(method=method.upper(), path=path, query=query,
+                   version=version, headers=headers)
+
+
+def render_head(status: int, headers: Dict[str, str],
+                content_length: Optional[int] = None) -> bytes:
+    """Serialise a response head (status must be in :data:`STATUS_REASONS`)."""
+    reason = STATUS_REASONS[status]
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    if content_length is not None:
+        lines.append(f"Content-Length: {content_length}")
+    for name, value in headers.items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def json_body(payload: dict) -> Tuple[bytes, Dict[str, str]]:
+    """Encode a JSON response body plus its Content-Type header."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    return body, {"Content-Type": "application/json"}
+
+
+def parse_range(header: Optional[str], size: int) -> Optional[Tuple[int, int]]:
+    """Resolve a ``Range`` header to a concrete ``[start, stop)`` window.
+
+    Implements the single-range forms ``bytes=a-b``, ``bytes=a-``, and
+    ``bytes=-n``.  Returns ``None`` when there is no header or it is
+    syntactically malformed (RFC 9110: ignore and serve the full body);
+    raises :class:`HttpError` 416 when well-formed but unsatisfiable.
+    """
+    if header is None:
+        return None
+    if not header.startswith("bytes=") or "," in header:
+        return None  # malformed or multi-range: ignored, serve 200
+    spec = header[len("bytes="):].strip()
+    first, sep, last = spec.partition("-")
+    if not sep or (not first and not last):
+        return None
+    unsatisfiable = HttpError(
+        416, "range_not_satisfiable", f"range {header!r} of {size} bytes",
+        headers={"Content-Range": f"bytes */{size}"},
+    )
+    try:
+        if not first:                      # bytes=-n → final n bytes
+            suffix = int(last)
+            if suffix <= 0:
+                raise unsatisfiable
+            return max(0, size - suffix), size
+        start = int(first)
+        stop = int(last) + 1 if last else size
+    except ValueError:
+        return None
+    if start >= size or start < 0 or stop <= start:
+        raise unsatisfiable
+    return start, min(stop, size)

@@ -17,6 +17,7 @@ from repro.core.errors import LeptonError
 from repro.core.lepton import FORMAT_LEPTON, LeptonConfig, decompress_chunks
 from repro.obs import get_registry
 from repro.storage.chunking import CHUNK_SIZE
+from repro.storage.quotas import QuotaBoard
 from repro.storage.retry import RetryPolicy
 
 
@@ -68,16 +69,85 @@ class BlockStore:
     read_fault: Optional[Callable[[str, bytes, int], bytes]] = None
     originals: Dict[str, bytes] = field(default_factory=dict)
     degraded_fallbacks: int = 0
+    #: Per-tenant admission ledger (repro.storage.quotas); ``None`` keeps the
+    #: store unmetered.  ``put_file`` charges logical (uploaded) bytes against
+    #: the tenant's budget and records the stored footprint after compression.
+    quotas: Optional[QuotaBoard] = None
 
     @property
     def _recovery_enabled(self) -> bool:
         return (self.read_retry is not None or self.keep_originals
                 or self.read_fault is not None)
 
-    def put_file(self, name: str, data: bytes) -> FileRecord:
-        """Chunk, compress, verify, and admit a file."""
+    def put_file(self, name: str, data: bytes, tenant: str = "default",
+                 reserved: int = 0) -> FileRecord:
+        """Chunk, compress, verify, and admit a file.
+
+        With a :class:`~repro.storage.quotas.QuotaBoard` attached, the
+        tenant is charged ``len(data)`` logical bytes (raising
+        :class:`~repro.storage.quotas.QuotaExceeded` over budget) and the
+        stored footprint is recorded after compression.  ``reserved`` is
+        budget the caller already claimed via ``quotas.reserve`` — a
+        front-end reserves from the declared ``Content-Length`` before
+        reading the body, then hands the reservation over here.  Re-putting
+        an existing ``name`` replaces the record without charging again.
+        """
+        if self.quotas is not None:
+            # Idempotent re-put: detect before reserving, so a duplicate
+            # near the budget edge is not spuriously quota-rejected.
+            if self._is_duplicate_put(name, data):
+                if reserved:
+                    self.quotas.release(tenant, reserved)
+                return self.files[name]
+            shortfall = max(0, len(data) - reserved)
+            if shortfall:
+                try:
+                    self.quotas.reserve(tenant, shortfall)
+                except Exception:
+                    if reserved:
+                        self.quotas.release(tenant, reserved)
+                    raise
+            reserved = max(reserved, len(data))
+        try:
+            record, stored = self._admit_file(name, data)
+        except Exception:
+            if self.quotas is not None:
+                self.quotas.release(tenant, reserved)
+            raise
+        if self.quotas is not None:
+            if record is None:
+                self.quotas.release(tenant, reserved)
+            else:
+                self.quotas.commit(tenant, reserved, len(data), stored)
+        return record if record is not None else self.files[name]
+
+    def _is_duplicate_put(self, name: str, data: bytes) -> bool:
+        """Is ``name`` already stored with exactly these bytes, all of its
+        chunk entries intact?  (Content compare is by chunk SHA-256 — the
+        store's own addressing — so a popped or rotted entry re-admits.)"""
+        record = self.files.get(name)
+        if record is None or record.size != len(data):
+            return False
+        pos = 0
+        for key in record.chunk_keys:
+            entry = self.entries.get(key)
+            if entry is None:
+                return False
+            size = entry.chunk.original_size
+            if hashlib.sha256(data[pos:pos + size]).hexdigest() != key:
+                return False
+            pos += size
+        return pos == len(data)
+
+    def _admit_file(self, name: str, data: bytes):
+        """Admission proper; returns ``(record, stored_bytes)`` — ``record``
+        is ``None`` when ``name`` was already stored byte-identically (the
+        put is idempotent: no recompression, no re-charge)."""
+        if self._is_duplicate_put(name, data):
+            return None, 0
         chunks = compress_chunked(data, self.chunk_size, self.config)
         keys = []
+        stored = 0
         for chunk in chunks:
             a, b = chunk.original_range
             original = data[a:b]
@@ -100,10 +170,11 @@ class BlockStore:
                 if chunk.format == FORMAT_LEPTON:
                     self.lepton_bytes_in += len(original)
                     self.lepton_bytes_out += len(chunk.payload)
+            stored += len(chunk.payload)
             keys.append(key)
         record = FileRecord(name, keys, len(data))
         self.files[name] = record
-        return record
+        return record, stored
 
     def _verify_and_decode(self, key: str, entry: StoreEntry,
                            payload: bytes) -> bytes:
@@ -185,6 +256,22 @@ class BlockStore:
         if digest.hexdigest() != entry.original_sha256:
             raise IntegrityError(f"decode digest mismatch for {key[:12]}")
 
+    def chunk_spans(self, name: str) -> List["tuple[str, int, int]"]:
+        """``(key, start, stop)`` byte spans of a stored file's chunks.
+
+        Spans are recomputed from each entry's original size rather than
+        read off ``chunk.original_range``: content-addressed dedup can
+        alias one entry into many files at different offsets.
+        """
+        record = self.files[name]
+        spans = []
+        pos = 0
+        for key in record.chunk_keys:
+            size = self.entries[key].chunk.original_size
+            spans.append((key, pos, pos + size))
+            pos += size
+        return spans
+
     def stream_file(self, name: str) -> Iterator[bytes]:
         """Reassemble a stored file as a chunk stream, measuring TTFB.
 
@@ -194,27 +281,48 @@ class BlockStore:
         piece arrives after decoding one MCU row band of the first chunk,
         not after decoding the whole file.
         """
+        yield from self.stream_range(name, 0, self.files[name].size)
+
+    def stream_range(self, name: str, start: int, stop: int) -> Iterator[bytes]:
+        """Stream the decoded bytes ``[start, stop)`` of a stored file.
+
+        Chunk independence (§1, §3.4) is what makes this cheap: only the
+        chunks overlapping the range are decoded — an HTTP ``Range``
+        request for a file tail never touches its head.  The same two
+        digest gates as :meth:`stream_file` guard every yielded byte, and
+        with recovery configured each chunk is verified *before* any of
+        its bytes are yielded (the degraded-read contract forbids
+        streaming bytes a later check could disown).  Feeds the same
+        ``blockstore.read.*`` histograms as whole-file reads.
+        """
         record = self.files[name]
+        start = max(0, start)
+        stop = min(stop, record.size)
         registry = get_registry()
         # Telemetry only: never feeds a coded decision.
-        start = time.monotonic()  # lint: disable=D2
+        begin = time.monotonic()  # lint: disable=D2
         first = True
-        for key in record.chunk_keys:
-            # With recovery configured each chunk is verified *before* any
-            # of its bytes are yielded (buffering is bounded by the chunk
-            # size) — the degraded-read contract forbids streaming bytes
-            # that a later digest check could disown.
+        for key, a, b in self.chunk_spans(name):
+            if b <= start or a >= stop:
+                continue
             pieces = ([self.get_chunk(key)] if self._recovery_enabled
                       else self.stream_chunk(key))
+            pos = a
             for piece in pieces:
+                piece_start = pos
+                pos += len(piece)
+                lo = max(start, piece_start)
+                hi = min(stop, pos)
+                if hi <= lo:
+                    continue
                 if first:
                     first = False
                     registry.histogram("blockstore.read.ttfb_seconds").observe(
-                        time.monotonic() - start  # lint: disable=D2
+                        time.monotonic() - begin  # lint: disable=D2
                     )
-                yield piece
+                yield piece[lo - piece_start:hi - piece_start]
         registry.histogram("blockstore.read.seconds").observe(
-            time.monotonic() - start  # lint: disable=D2
+            time.monotonic() - begin  # lint: disable=D2
         )
 
     @property

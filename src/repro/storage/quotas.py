@@ -1,0 +1,123 @@
+"""Per-tenant storage quotas (the serving front-end's admission ledger).
+
+Production Dropbox meters every account; the paper's deployment (§5) rode
+on top of that ledger — Lepton changed *stored* bytes, never the quota a
+user was charged, which is why savings could be rolled out transparently.
+This module reproduces that split: a :class:`QuotaBoard` charges tenants
+for the **logical** bytes they upload (what the user sees) while also
+tracking the **stored** bytes after compression (what the provider pays
+for), so the spread between the two is exactly the paper's savings story,
+now reportable per tenant.
+
+The board is the hook :class:`~repro.storage.blockstore.BlockStore` calls
+during ``put_file`` and the one ``lepton serve`` consults before reading a
+request body (reject *before* the bytes cross the wire).  All mutation is
+lock-guarded: the serving front-end runs the board from an event loop
+while backfill workers may charge it from threads.
+"""
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class QuotaExceeded(RuntimeError):
+    """A tenant tried to store more logical bytes than its limit allows."""
+
+    def __init__(self, tenant: str, requested: int, used: int, limit: int):
+        super().__init__(
+            f"tenant {tenant!r}: {requested} bytes requested, "
+            f"{used}/{limit} already used"
+        )
+        self.tenant = tenant
+        self.requested = requested
+        self.used = used
+        self.limit = limit
+
+
+@dataclass
+class TenantUsage:
+    """One tenant's ledger row."""
+
+    files: int = 0
+    logical_bytes: int = 0   # what the tenant uploaded (and is charged)
+    stored_bytes: int = 0    # what the backend actually keeps
+    reserved_bytes: int = 0  # in-flight reservations not yet committed
+    rejections: int = 0
+
+    @property
+    def savings_fraction(self) -> float:
+        if self.logical_bytes == 0:
+            return 0.0
+        return 1.0 - self.stored_bytes / self.logical_bytes
+
+
+@dataclass
+class QuotaBoard:
+    """Reserve → commit/release accounting over per-tenant byte budgets.
+
+    ``limit_bytes`` is the default per-tenant logical-byte budget
+    (``None`` = unmetered); ``limits`` overrides it per tenant.  The
+    reserve step exists so a front-end can refuse an upload from its
+    declared ``Content-Length`` alone, before buffering anything.
+    """
+
+    limit_bytes: Optional[int] = None
+    limits: Dict[str, int] = field(default_factory=dict)
+    tenants: Dict[str, TenantUsage] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def limit_for(self, tenant: str) -> Optional[int]:
+        return self.limits.get(tenant, self.limit_bytes)
+
+    def _usage(self, tenant: str) -> TenantUsage:
+        usage = self.tenants.get(tenant)
+        if usage is None:
+            usage = self.tenants[tenant] = TenantUsage()
+        return usage
+
+    def usage(self, tenant: str) -> TenantUsage:
+        with self._lock:
+            return self._usage(tenant)
+
+    def reserve(self, tenant: str, nbytes: int) -> None:
+        """Claim ``nbytes`` of logical budget or raise :class:`QuotaExceeded`."""
+        with self._lock:
+            usage = self._usage(tenant)
+            limit = self.limit_for(tenant)
+            used = usage.logical_bytes + usage.reserved_bytes
+            if limit is not None and used + nbytes > limit:
+                usage.rejections += 1
+                raise QuotaExceeded(tenant, nbytes, used, limit)
+            usage.reserved_bytes += nbytes
+
+    def commit(self, tenant: str, reserved: int, logical: int,
+               stored: int, files: int = 1) -> None:
+        """Convert a reservation into durable usage (post-admission)."""
+        with self._lock:
+            usage = self._usage(tenant)
+            usage.reserved_bytes = max(0, usage.reserved_bytes - reserved)
+            usage.logical_bytes += logical
+            usage.stored_bytes += stored
+            usage.files += files
+
+    def release(self, tenant: str, reserved: int) -> None:
+        """Abandon a reservation (the upload failed or was a duplicate)."""
+        with self._lock:
+            usage = self._usage(tenant)
+            usage.reserved_bytes = max(0, usage.reserved_bytes - reserved)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-friendly per-tenant dump (the serve diagnostics surface)."""
+        with self._lock:
+            return {
+                tenant: {
+                    "files": usage.files,
+                    "logical_bytes": usage.logical_bytes,
+                    "stored_bytes": usage.stored_bytes,
+                    "reserved_bytes": usage.reserved_bytes,
+                    "rejections": usage.rejections,
+                    "savings_fraction": usage.savings_fraction,
+                }
+                for tenant, usage in sorted(self.tenants.items())
+            }

@@ -1,0 +1,129 @@
+"""Unit tests for the hand-rolled HTTP/1.1 wire layer."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    MAX_HEAD_BYTES,
+    STATUS_REASONS,
+    HttpError,
+    Request,
+    json_body,
+    parse_range,
+    read_request,
+    render_head,
+)
+
+pytestmark = pytest.mark.serve
+
+
+def _parse(raw: bytes):
+    async def _main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(_main())
+
+
+# -- request parsing -------------------------------------------------------
+
+def test_parses_request_line_headers_and_query():
+    request = _parse(
+        b"GET /files/abc?verbose=1 HTTP/1.1\r\n"
+        b"Host: x\r\nX-Lepton-Tenant:  alice \r\n\r\n"
+    )
+    assert request.method == "GET"
+    assert request.path == "/files/abc"
+    assert request.query == "verbose=1"
+    assert request.headers["x-lepton-tenant"] == "alice"
+
+
+def test_clean_eof_returns_none():
+    assert _parse(b"") is None
+
+
+@pytest.mark.parametrize("raw", [
+    b"GET /x\r\n\r\n",                       # no version
+    b"GET /x HTTP/2\r\n\r\n",                # unsupported version
+    b"GET /x HTTP/1.1\r\nbad header\r\n\r\n",  # colonless header
+    b"GET /x HTTP/1.1\r\nHost: y",           # truncated head
+])
+def test_malformed_heads_are_400(raw):
+    with pytest.raises(HttpError) as err:
+        _parse(raw)
+    assert err.value.status == 400
+
+
+def test_transfer_encoding_is_411():
+    with pytest.raises(HttpError) as err:
+        _parse(b"PUT /files HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+    assert err.value.status == 411
+
+
+def test_oversized_head_is_400():
+    filler = b"X-Pad: " + b"a" * MAX_HEAD_BYTES + b"\r\n"
+    with pytest.raises(HttpError) as err:
+        _parse(b"GET /x HTTP/1.1\r\n" + filler + b"\r\n")
+    assert err.value.status == 400
+
+
+def test_content_length_validation():
+    ok = Request("PUT", "/files", "", "HTTP/1.1", {"content-length": "17"})
+    assert ok.content_length == 17
+    for bad in ("seven", "-1"):
+        request = Request("PUT", "/files", "", "HTTP/1.1",
+                          {"content-length": bad})
+        with pytest.raises(HttpError):
+            request.content_length
+
+
+def test_keep_alive_defaults_by_version():
+    v11 = Request("GET", "/", "", "HTTP/1.1", {})
+    v10 = Request("GET", "/", "", "HTTP/1.0", {})
+    closing = Request("GET", "/", "", "HTTP/1.1", {"connection": "close"})
+    assert v11.keep_alive and not v10.keep_alive and not closing.keep_alive
+
+
+# -- response rendering ----------------------------------------------------
+
+def test_render_head_and_json_body_roundtrip():
+    body, headers = json_body({"status": "ok"})
+    head = render_head(200, headers, content_length=len(body))
+    text = head.decode("latin-1")
+    assert text.startswith("HTTP/1.1 200 OK\r\n")
+    assert f"Content-Length: {len(body)}" in text
+    assert "application/json" in text
+
+
+def test_every_documented_status_renders():
+    for status in STATUS_REASONS:
+        assert render_head(status, {}).decode().startswith(f"HTTP/1.1 {status} ")
+
+
+# -- Range resolution ------------------------------------------------------
+
+@pytest.mark.parametrize("header,expected", [
+    (None, None),
+    ("bytes=0-99", (0, 100)),
+    ("bytes=10-", (10, 1000)),
+    ("bytes=-100", (900, 1000)),
+    ("bytes=990-5000", (990, 1000)),   # stop clamps to size
+    ("bytes=-5000", (0, 1000)),        # suffix longer than the file
+    ("items=0-5", None),               # unknown unit: ignored, serve 200
+    ("bytes=0-5,10-15", None),         # multi-range: ignored
+    ("bytes=a-b", None),               # garbage: ignored
+    ("bytes=", None),
+])
+def test_parse_range_windows(header, expected):
+    assert parse_range(header, 1000) == expected
+
+
+@pytest.mark.parametrize("header", ["bytes=1000-", "bytes=5-2", "bytes=-0"])
+def test_unsatisfiable_ranges_are_416(header):
+    with pytest.raises(HttpError) as err:
+        parse_range(header, 1000)
+    assert err.value.status == 416
+    assert err.value.headers["Content-Range"] == "bytes */1000"

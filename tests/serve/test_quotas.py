@@ -1,0 +1,84 @@
+"""Unit tests for the per-tenant quota ledger."""
+
+import pytest
+
+from repro.storage.blockstore import BlockStore
+from repro.storage.quotas import QuotaBoard, QuotaExceeded
+
+pytestmark = pytest.mark.serve
+
+
+def test_unmetered_board_never_rejects():
+    board = QuotaBoard()
+    board.reserve("t", 10**12)
+    board.commit("t", 10**12, 10**12, 10**11)
+    assert board.usage("t").logical_bytes == 10**12
+
+
+def test_reserve_commit_release_cycle():
+    board = QuotaBoard(limit_bytes=1000)
+    board.reserve("alice", 600)
+    assert board.usage("alice").reserved_bytes == 600
+    with pytest.raises(QuotaExceeded):
+        board.reserve("alice", 500)     # 600 reserved + 500 > 1000
+    board.commit("alice", 600, 600, 250)
+    usage = board.usage("alice")
+    assert usage.reserved_bytes == 0
+    assert usage.logical_bytes == 600
+    assert usage.stored_bytes == 250
+    assert usage.files == 1
+    assert usage.rejections == 1
+    board.reserve("alice", 400)         # exactly at the limit
+    board.release("alice", 400)
+    assert board.usage("alice").reserved_bytes == 0
+
+
+def test_per_tenant_limits_are_independent():
+    board = QuotaBoard(limit_bytes=100, limits={"vip": 10_000})
+    board.reserve("vip", 5_000)
+    with pytest.raises(QuotaExceeded) as err:
+        board.reserve("basic", 500)
+    assert err.value.tenant == "basic"
+    assert err.value.limit == 100
+    assert board.limit_for("vip") == 10_000
+
+
+def test_savings_fraction():
+    board = QuotaBoard()
+    board.commit("t", 0, 1000, 770)
+    assert board.usage("t").savings_fraction == pytest.approx(0.23)
+
+
+def test_blockstore_charges_quota_and_releases_on_reject(small_jpeg):
+    board = QuotaBoard(limit_bytes=len(small_jpeg) + 10)
+    store = BlockStore(chunk_size=4096, quotas=board)
+    store.put_file("a", small_jpeg, tenant="alice")
+    usage = board.usage("alice")
+    assert usage.logical_bytes == len(small_jpeg)
+    assert 0 < usage.stored_bytes
+    with pytest.raises(QuotaExceeded):
+        store.put_file("b", small_jpeg, tenant="alice")
+    assert "b" not in store.files
+    assert board.usage("alice").reserved_bytes == 0
+
+
+def test_blockstore_duplicate_put_charges_once(small_jpeg):
+    board = QuotaBoard(limit_bytes=2 * len(small_jpeg) - 1)
+    store = BlockStore(chunk_size=4096, quotas=board)
+    store.put_file("a", small_jpeg, tenant="alice")
+    # Byte-identical re-put: admitted (idempotent), not double-charged.
+    store.put_file("a", small_jpeg, tenant="alice")
+    usage = board.usage("alice")
+    assert usage.files == 1
+    assert usage.logical_bytes == len(small_jpeg)
+    assert usage.reserved_bytes == 0
+
+
+def test_snapshot_is_json_ready():
+    board = QuotaBoard(limit_bytes=100)
+    board.commit("t", 0, 50, 40)
+    snap = board.snapshot()
+    assert snap["t"]["logical_bytes"] == 50
+    assert set(snap["t"]) == {"files", "logical_bytes", "stored_bytes",
+                              "reserved_bytes", "rejections",
+                              "savings_fraction"}

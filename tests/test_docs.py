@@ -117,6 +117,84 @@ def test_every_lint_rule_is_documented_and_vice_versa():
         )
 
 
+# -- the serve API contract (docs/serve.md, both directions) ---------------
+
+
+def _serve_doc() -> str:
+    return (REPO / "docs" / "serve.md").read_text()
+
+
+def test_every_serve_endpoint_is_documented_and_vice_versa():
+    """The endpoint table and repro.serve.ENDPOINTS must agree exactly."""
+    from repro.serve import ENDPOINTS
+
+    documented = set(
+        re.findall(r"\| `([A-Z]+) (/[^`\s]*)` \|", _serve_doc())
+    )
+    assert documented == set(ENDPOINTS), (
+        f"undocumented endpoints: {sorted(set(ENDPOINTS) - documented)}; "
+        f"documented but unserved: {sorted(documented - set(ENDPOINTS))}"
+    )
+
+
+def test_every_serve_status_is_documented_and_vice_versa():
+    """The status table and the closed STATUS_REASONS set must agree."""
+    from repro.serve import STATUS_REASONS
+
+    documented = {
+        int(code) for code in re.findall(r"^\| `(\d{3})` \|", _serve_doc(),
+                                         re.MULTILINE)
+    }
+    assert documented == set(STATUS_REASONS), (
+        f"undocumented statuses: {sorted(set(STATUS_REASONS) - documented)}; "
+        f"documented but unemittable: {sorted(documented - set(STATUS_REASONS))}"
+    )
+
+
+def _serve_metric_names(small_jpeg):
+    """Boot a server, run a representative workload, return serve.* names."""
+    import asyncio
+
+    from repro.serve import LeptonServer, ServeClient, ServeConfig
+
+    async def _main():
+        server = LeptonServer(ServeConfig(chunk_size=4096, quota_bytes=10**6))
+        await server.start()
+        try:
+            async with ServeClient("127.0.0.1", server.port) as client:
+                put = await client.put_file(small_jpeg)
+                await client.get_file(put.json()["id"])
+                await client.get_file(put.json()["id"],
+                                      byte_range="bytes=0-9")
+                await client.request("GET", "/healthz")
+                await client.request("GET", "/metrics")
+        finally:
+            await server.drain()
+        return {name for name in server.registry.names()
+                if name.startswith("serve.")}
+
+    return asyncio.run(_main())
+
+
+def test_every_serve_metric_is_documented_and_vice_versa(small_jpeg):
+    """All serve.* instruments appear in docs/serve.md and vice versa.
+
+    Instruments are pre-declared at server startup, so one in-process
+    workload registers the complete surface.
+    """
+    documented = {
+        name for name in re.findall(r"`([a-z0-9_.]+(?:\.[a-z0-9_]+)+)`",
+                                    _serve_doc())
+        if name.startswith("serve.")
+    }
+    emitted = _serve_metric_names(small_jpeg)
+    assert emitted, "serve workload emitted no serve.* metrics"
+    assert emitted == documented, (
+        f"emitted but undocumented: {sorted(emitted - documented)}; "
+        f"documented but never registered: {sorted(documented - emitted)}"
+    )
+
+
 def test_documented_codec_metrics_are_emitted(small_jpeg):
     """The reverse direction, for the core codec table: the contract's
     headline metrics really exist after one compress+decompress."""
