@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint lint-json lint-tests chaos serve serve-tests serve-smoke
+.PHONY: test lint lint-json lint-changed lint-bench lint-tests chaos serve serve-tests serve-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -14,13 +14,24 @@ test:
 chaos:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m chaos
 
-# The determinism/safety static analysis (docs/lint.md).  Exits non-zero
-# on any D1-D5 finding; the same gate runs inside storage.qualification.
+# The determinism/safety static analysis (docs/lint.md).  Runs the full
+# rule set D1-D10 — syntactic rules plus the CFG/dataflow passes — and
+# exits non-zero on any finding; the same gate runs inside
+# storage.qualification.
 lint:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.lint src/repro
 
 lint-json:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.lint --json src/repro
+
+# Incremental lint: only files differing from git HEAD, with the
+# content-hash result cache (invalidated whenever repro.lint changes).
+lint-changed:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.lint src/repro --changed --cache
+
+# Full-vs-incremental runtime comparison (benchmarks/results/lint_runtime.txt).
+lint-bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q benchmarks/bench_lint_runtime.py
 
 # Just the lint-marked portion of the test suite (self-clean gate,
 # fixture corpus, reporter schema).

@@ -1,0 +1,87 @@
+"""Lint runtime: full analysis vs the content-hash cache vs `--changed`.
+
+The dataflow rules (D7–D10) made `lepton lint` do real work per function
+— CFG construction plus a fixpoint per rule — so the incremental path
+has to carry its weight.  Three measurements over the shipped tree:
+
+* **full (cold)** — parse + every rule on every module, empty cache;
+* **full (warm)** — same tree, cache populated by the cold run: the
+  per-module passes come back as cache hits, only the project-wide
+  rules (D3, D7's closure) recompute;
+* **changed (git)** — the `--changed` file selection itself, i.e. what
+  a developer pays before any linting starts.
+
+The warm run must reproduce the cold run's findings exactly — that is
+the ISSUE 7 acceptance bar for the cache, asserted here on every bench
+run, not just in the unit tests.
+"""
+
+import time
+from pathlib import Path
+
+from _harness import emit
+
+import repro
+from repro.analysis.tables import format_table
+from repro.lint import LintCache, LintEngine, collect_files
+from repro.lint.cache import GitUnavailable, changed_files
+from repro.lint.engine import load_module
+
+
+def _ms(start: float) -> float:
+    return (time.perf_counter() - start) * 1000.0
+
+
+def test_lint_runtime(benchmark, tmp_path):
+    root = Path(repro.__file__).resolve().parent
+    files = collect_files([root])
+    cache_path = tmp_path / "lint-cache.json"
+
+    def _run():
+        engine = LintEngine()
+
+        start = time.perf_counter()
+        cold_cache = LintCache(cache_path)
+        cold = engine.run(files, cache=cold_cache)
+        cold_cache.save()
+        cold_ms = _ms(start)
+
+        start = time.perf_counter()
+        warm_cache = LintCache(cache_path)
+        warm = engine.run(files, cache=warm_cache)
+        warm_ms = _ms(start)
+
+        start = time.perf_counter()
+        try:
+            touched = changed_files(root)
+            changed_label = f"{len(touched)} files"
+        except GitUnavailable:
+            touched = None
+            changed_label = "git n/a"
+        changed_ms = _ms(start)
+
+        return (cold, cold_ms, warm, warm_cache, warm_ms,
+                changed_label, changed_ms)
+
+    (cold, cold_ms, warm, warm_cache, warm_ms,
+     changed_label, changed_ms) = benchmark.pedantic(
+        _run, rounds=1, iterations=1)
+
+    # The acceptance bar: incremental must equal full, finding for finding.
+    assert warm == cold
+    assert warm_cache.hits == len(files) and warm_cache.misses == 0
+
+    rows = [
+        ("full (cold)", f"{len(files)} files", len(cold), f"{cold_ms:.1f}"),
+        ("full (warm cache)", f"{warm_cache.hits} hits", len(warm),
+         f"{warm_ms:.1f}"),
+        ("changed selection", changed_label, "-", f"{changed_ms:.1f}"),
+    ]
+    table = format_table(
+        ["mode", "scope", "findings", "ms"],
+        rows,
+        title=f"lepton lint runtime over {root.name}/ "
+              "(per-module passes cached by content hash; project-wide "
+              "rules always recomputed)",
+    )
+    emit("lint_runtime", table)

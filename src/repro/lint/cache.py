@@ -1,0 +1,149 @@
+"""Incremental linting: a content-hash result cache and `--changed` mode.
+
+The cache maps ``sha256(path + file bytes)`` to the module's per-module
+findings (post-pragma), under a *rule-set version* — a digest over every
+source file in ``repro/lint`` itself — so editing any rule, the engine,
+or this file invalidates the whole cache rather than serving findings
+from a rule that no longer exists.  Project-wide rules (D3's
+exhaustiveness, D7's call-graph closure) see cross-file state and are
+always recomputed; only the per-module passes are cached, which is where
+the CFG/solver time goes.
+
+``--changed`` asks git which files differ from ``HEAD`` (tracked diffs
+plus untracked files) and lints only those.  If git is unavailable the
+CLI falls back to a full run — an incremental linter that silently lints
+nothing would be worse than a slow one.
+
+The cache is a plain JSON file, deliberately schema-checked on load: a
+corrupt or foreign file is treated as empty, never an error.
+"""
+
+import hashlib
+import json
+import subprocess
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.engine import Finding, ModuleInfo
+
+_CACHE_SCHEMA = 1
+
+_ruleset_lock = threading.Lock()
+_ruleset_memo: Dict[str, str] = {}
+
+
+def ruleset_version() -> str:
+    """Digest of the analyser itself: any edit to repro.lint invalidates
+    every cached result (memoised; sources are fixed for the process)."""
+    with _ruleset_lock:
+        if "version" not in _ruleset_memo:
+            digest = hashlib.sha256()
+            root = Path(__file__).resolve().parent
+            for path in sorted(root.glob("*.py")):
+                digest.update(path.name.encode())
+                digest.update(b"\0")
+                digest.update(path.read_bytes())
+            _ruleset_memo["version"] = digest.hexdigest()[:16]
+        return _ruleset_memo["version"]
+
+
+def module_key(info: ModuleInfo) -> str:
+    """Cache key for one parsed module: path identity + content hash."""
+    digest = hashlib.sha256()
+    digest.update(str(info.path).encode())
+    digest.update(b"\0")
+    digest.update(info.source.encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class LintCache:
+    """On-disk per-module finding cache keyed by (content sha, rule-set
+    version).  ``hits``/``misses`` feed the benchmark and the CLI note."""
+
+    path: Path
+    version: str = field(default_factory=ruleset_version)
+    hits: int = 0
+    misses: int = 0
+    _entries: Dict[str, List[dict]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.path = Path(self.path)
+        self.load()
+
+    def load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if (not isinstance(raw, dict)
+                or raw.get("schema") != _CACHE_SCHEMA
+                or raw.get("ruleset") != self.version
+                or not isinstance(raw.get("entries"), dict)):
+            return  # stale rule set or foreign file: start empty
+        self._entries = raw["entries"]
+
+    def save(self) -> None:
+        payload = {
+            "schema": _CACHE_SCHEMA,
+            "tool": "repro.lint",
+            "ruleset": self.version,
+            "entries": {key: self._entries[key]
+                        for key in sorted(self._entries)},
+        }
+        self.path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+    def get(self, info: ModuleInfo) -> Optional[List[Finding]]:
+        entry = self._entries.get(module_key(info))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [Finding(**item) for item in entry]
+
+    def put(self, info: ModuleInfo, findings: Sequence[Finding]) -> None:
+        self._entries[module_key(info)] = [
+            {"rule": f.rule, "path": f.path, "line": f.line,
+             "col": f.col, "message": f.message}
+            for f in findings
+        ]
+
+
+class GitUnavailable(RuntimeError):
+    """Raised when `--changed` cannot ask git for the diff."""
+
+
+def changed_files(root: Path) -> List[Path]:
+    """Files under ``root`` differing from HEAD (tracked) or untracked.
+
+    Raises :class:`GitUnavailable` when git is missing or ``root`` is not
+    inside a work tree, so the caller can fall back to a full run.
+    """
+    root = Path(root).resolve()
+    base = root if root.is_dir() else root.parent
+
+    def _git(*args: str) -> List[str]:
+        try:
+            proc = subprocess.run(
+                ["git", "-C", str(base), *args],
+                capture_output=True, text=True, timeout=30, check=True,
+            )
+        except (OSError, subprocess.SubprocessError) as exc:
+            raise GitUnavailable(str(exc)) from exc
+        return [line for line in proc.stdout.splitlines() if line]
+
+    toplevel = Path(_git("rev-parse", "--show-toplevel")[0])
+    names = _git("diff", "--name-only", "HEAD")
+    names += _git("ls-files", "--others", "--exclude-standard")
+    out: List[Path] = []
+    seen = set()
+    for name in names:
+        path = (toplevel / name).resolve()
+        if path in seen or path.suffix != ".py" or not path.exists():
+            continue
+        if path == root or root in path.parents:
+            seen.add(path)
+            out.append(path)
+    return sorted(out)

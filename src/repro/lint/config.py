@@ -50,17 +50,36 @@ DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
         "repro.storage.quotas",
         "repro.faults.*",
         "repro.serve.*",
+        "repro.lint.*",
     ),
     # repro.serve is deliberately absent from D2: a live network server
     # legitimately reads wall clocks (same carve-out as repro.cli).
     "D5": ("repro.core.*", "repro.storage.*", "repro.corpus.*", "repro.obs.*",
-           "repro.faults.*", "repro.serve.*"),
+           "repro.faults.*", "repro.serve.*", "repro.lint.*"),
     # Everywhere the Lepton pipeline is consumed.  repro.baselines is out of
     # scope by design: the comparison codecs (§2) are independent coders and
     # legitimately own their own BoolEncoder loops.
     "D6": ("repro.core.*", "repro.storage.*", "repro.corpus.*",
            "repro.analysis.*", "repro.cli", "repro.obs.*", "repro.faults.*",
            "repro.serve.*"),
+    # D7 scopes the whole tree because the call-graph summary pass must see
+    # potential callees everywhere; findings are only emitted for async
+    # bodies in the serve path (the rule's `async_scopes` option).
+    "D7": ("repro.*",),
+    "D8": ("repro.serve.*",),
+    "D9": (
+        "repro.storage.fleet",
+        "repro.storage.blockserver",
+        "repro.storage.backfill",
+        "repro.storage.qualification",
+        "repro.storage.retry",
+        "repro.storage.quotas",
+        "repro.faults.*",
+        "repro.serve.*",
+        "repro.lint.*",
+    ),
+    "D10": ("repro.serve.*", "repro.storage.*", "repro.core.*",
+            "repro.lint.*"),
 }
 
 

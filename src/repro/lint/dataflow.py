@@ -1,0 +1,63 @@
+"""A small forward-dataflow solver over :mod:`repro.lint.cfg` graphs.
+
+Rules D8–D10 are instances of the same fixpoint: a per-node *state* (the
+set of tainted names, the set of held locks, the set of open resources),
+a *transfer* function applying one node's effect, and a *join* merging
+states where paths converge.  The solver is the classic worklist
+iteration; states are ``frozenset`` values joined by union, so the
+lattice has finite height (bounded by the names in the function) and
+termination is structural, not a timeout.
+
+Two-phase discipline: :func:`solve` runs transfer functions to a
+fixpoint and must stay pure (no finding emission — a node can be
+re-visited many times); :func:`visit` then walks every reachable node
+exactly once with its *incoming* state so the rule can report.
+"""
+
+from typing import Callable, Dict, FrozenSet, Optional
+
+from repro.lint.cfg import CFG, CFGNode
+
+State = FrozenSet[str]
+
+#: Transfer: (node, incoming state) -> outgoing state.  Must be pure.
+Transfer = Callable[[CFGNode, State], State]
+
+EMPTY: State = frozenset()
+
+
+def solve(cfg: CFG, transfer: Transfer,
+          initial: State = EMPTY) -> Dict[int, State]:
+    """Run ``transfer`` to fixpoint; return each node's *incoming* state.
+
+    The incoming state of a node is the union over all predecessors of
+    their outgoing states — i.e. "what may hold when control reaches
+    this point".  Unreachable nodes are absent from the result.
+    """
+    states: Dict[int, State] = {cfg.entry: initial}
+    work = [cfg.entry]
+    while work:
+        index = work.pop()
+        out = transfer(cfg.nodes[index], states[index])
+        for succ in cfg.nodes[index].succs:
+            have: Optional[State] = states.get(succ)
+            merged = out if have is None else (have | out)
+            if have is None or merged != have:
+                states[succ] = merged
+                work.append(succ)
+    return states
+
+
+def visit(cfg: CFG, states: Dict[int, State],
+          report: Callable[[CFGNode, State], None]) -> None:
+    """Call ``report(node, incoming_state)`` once per reachable node, in
+    node-index order (which is source order) for deterministic findings."""
+    for node in cfg.nodes:
+        if node.index in states:
+            report(node, states[node.index])
+
+
+def exit_state(cfg: CFG, states: Dict[int, State]) -> Optional[State]:
+    """The state reaching the function's exit, or None if the exit is
+    unreachable (e.g. a ``while True`` server loop with no break)."""
+    return states.get(cfg.exit)

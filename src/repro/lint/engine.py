@@ -128,31 +128,55 @@ class LintEngine:
         self.config = config or default_config()
         self.rules = list(rules) if rules is not None else all_rules()
 
-    def run(self, paths: Sequence) -> List[Finding]:
+    def run(self, paths: Sequence, cache=None) -> List[Finding]:
         modules = [load_module(path) for path in collect_files(paths)]
-        return self.run_modules(modules)
+        return self.run_modules(modules, cache=cache)
 
-    def run_modules(self, modules: Sequence[ModuleInfo]) -> List[Finding]:
-        findings: List[Finding] = []
-        for rule in self.rules:
-            if rule.project_wide:
-                scoped = [
-                    m for m in modules
-                    if self.config.in_scope(rule.id, m.module, m.in_package)
-                ]
-                if scoped:
-                    findings.extend(rule.check_project(scoped, self.config))
-            else:
-                for info in modules:
-                    if self.config.in_scope(rule.id, info.module, info.in_package):
-                        findings.extend(rule.check_module(info, self.config))
+    def run_modules(self, modules: Sequence[ModuleInfo],
+                    cache=None) -> List[Finding]:
+        """Run all rules; ``cache`` (a :class:`repro.lint.cache.LintCache`)
+        short-circuits the per-module passes for unchanged files.  Only
+        per-module findings are cached — project-wide rules see cross-file
+        state and always recompute."""
         pragma_index = {str(m.path): m.pragmas for m in modules}
-        kept = [
-            f for f in findings
-            if not pragma_index.get(f.path, FilePragmas()).suppresses(f.rule, f.line)
-        ]
-        kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-        return kept
+
+        def _surviving(raw: Iterable[Finding]) -> List[Finding]:
+            return [
+                f for f in raw
+                if not pragma_index.get(f.path,
+                                        FilePragmas()).suppresses(f.rule, f.line)
+            ]
+
+        module_rules = [r for r in self.rules if not r.project_wide]
+        project_rules = [r for r in self.rules if r.project_wide]
+
+        findings: List[Finding] = []
+        for info in modules:
+            cached = cache.get(info) if cache is not None else None
+            if cached is not None:
+                findings.extend(cached)
+                continue
+            raw: List[Finding] = []
+            for rule in module_rules:
+                if self.config.in_scope(rule.id, info.module, info.in_package):
+                    raw.extend(rule.check_module(info, self.config))
+            kept = _surviving(raw)
+            kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+            if cache is not None:
+                cache.put(info, kept)
+            findings.extend(kept)
+
+        for rule in project_rules:
+            scoped = [
+                m for m in modules
+                if self.config.in_scope(rule.id, m.module, m.in_package)
+            ]
+            if scoped:
+                findings.extend(_surviving(rule.check_project(scoped,
+                                                              self.config)))
+
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
 
 
 def run_lint(paths: Sequence, config: Optional[LintConfig] = None) -> List[Finding]:
@@ -173,6 +197,6 @@ def lint_source(source: str, module: str = "snippet",
         pragmas=parse_pragmas(source),
     )
     info.imports = _collect_imports(info.tree)
-    engine = LintEngine(config)
-    engine.rules = [r for r in engine.rules if not r.project_wide]
-    return engine.run_modules([info])
+    # Project-wide rules run too: D3 returns early on a partial tree, and
+    # D7 happily summarises a single module — docs examples depend on it.
+    return LintEngine(config).run_modules([info])

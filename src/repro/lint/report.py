@@ -1,11 +1,12 @@
 """Reporters: human-readable text and the machine-readable JSON schema.
 
-The JSON schema (version 1, documented in ``docs/lint.md``) is the
+The JSON schema (version 2, documented in ``docs/lint.md``) is the
 interface CI and the qualification gate consume::
 
     {
-      "version": 1,
+      "version": 2,
       "tool": "repro.lint",
+      "dataflow": true,
       "files_scanned": 70,
       "rules": ["D1", "D2", ...],
       "clean": false,
@@ -18,6 +19,12 @@ interface CI and the qualification gate consume::
 
 Fields are only ever *added* to the schema; ``version`` bumps on any
 incompatible change, mirroring the container-format discipline of §6.7.
+Version 2 added the ``dataflow`` capability flag when rules D7–D10
+(CFG/taint/lifecycle analyses) joined the rule set.
+
+Both reporters sort findings by ``(path, line, col, rule)`` before
+rendering, independent of the engine's own ordering, so two runs over
+the same tree produce byte-identical reports.
 """
 
 import json
@@ -25,8 +32,12 @@ from typing import Dict, List, Sequence
 
 from repro.lint.engine import Finding
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 TOOL_NAME = "repro.lint"
+
+
+def _ordered(findings: Sequence[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
 
 
 def finding_counts(findings: Sequence[Finding]) -> Dict[str, int]:
@@ -38,6 +49,7 @@ def finding_counts(findings: Sequence[Finding]) -> Dict[str, int]:
 
 def render_text(findings: Sequence[Finding], files_scanned: int) -> str:
     """One ``file:line:col: RULE message`` line per finding + a summary."""
+    findings = _ordered(findings)
     lines: List[str] = [
         f"{f.location()}: {f.rule} {f.message}" for f in findings
     ]
@@ -57,9 +69,11 @@ def render_text(findings: Sequence[Finding], files_scanned: int) -> str:
 def to_json_dict(findings: Sequence[Finding], files_scanned: int) -> dict:
     from repro.lint.rules import all_rules
 
+    findings = _ordered(findings)
     return {
         "version": SCHEMA_VERSION,
         "tool": TOOL_NAME,
+        "dataflow": True,
         "files_scanned": files_scanned,
         "rules": [rule.id for rule in all_rules()],
         "clean": not findings,

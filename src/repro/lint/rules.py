@@ -23,22 +23,30 @@ and ``tests/test_docs.py`` fails if the two ever diverge.
 """
 
 import ast
+import threading
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.lint.config import LintConfig
 from repro.lint.engine import Finding, ModuleInfo, dotted_name
 
 RULES: Dict[str, "Rule"] = {}
+_rules_lock = threading.Lock()
 
 
 def register(cls):
     rule = cls()
-    RULES[rule.id] = rule
+    with _rules_lock:
+        RULES[rule.id] = rule
     return cls
 
 
 def all_rules() -> List["Rule"]:
-    return [RULES[rule_id] for rule_id in sorted(RULES)]
+    # The dataflow rules live in their own module and register on import.
+    from repro.lint import rules_dataflow  # noqa: F401
+
+    # Numeric-aware sort: lexicographically "D10" < "D2".
+    return [RULES[rule_id]
+            for rule_id in sorted(RULES, key=lambda rid: (len(rid), rid))]
 
 
 class Rule:

@@ -365,9 +365,12 @@ class LeptonServer:
             raise
         request.body_consumed = True
         self.registry.counter("serve.bytes_in").inc(length)
-        file_id = hashlib.sha256(data).hexdigest()
-        existed = file_id in self.store.files
         loop = asyncio.get_running_loop()
+        # Content addressing hashes the whole body — CPU time proportional
+        # to the upload, so it belongs on the executor with the codec.
+        file_id = await loop.run_in_executor(
+            None, lambda: hashlib.sha256(data).hexdigest())
+        existed = file_id in self.store.files
         try:
             # Chunk + compress + verify off the event loop: the gate, not
             # the codec, decides what the next connection experiences.

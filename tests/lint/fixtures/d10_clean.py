@@ -1,0 +1,20 @@
+"""D10 clean twin: every path releases — `with`, try/finally, or
+explicit ownership transfer to the caller."""
+
+
+def read_manifest_d10c(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def copy_payload_d10c(path, sink):
+    handle = open(path, "rb")
+    try:
+        sink.extend(handle.read())
+    finally:
+        handle.close()
+
+
+def open_for_caller_d10c(path):
+    handle = open(path, "rb")
+    return handle                # the caller owns (and closes) it now

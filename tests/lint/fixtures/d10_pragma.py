@@ -1,0 +1,6 @@
+"""D10 pragma twin: a deliberately process-lifetime handle."""
+
+
+def open_log_d10p(path):
+    handle = open(path, "ab")  # lint: disable=D10
+    return handle.fileno()

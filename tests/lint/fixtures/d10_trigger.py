@@ -1,0 +1,23 @@
+"""D10 trigger: resources released on the happy path but leaked on an
+early return or an alternate branch — exactly the paths nobody tests.
+A syntactic "is close() called somewhere" check passes both functions;
+only the CFG sees the path that skips it."""
+
+
+def read_manifest_d10t(path, strict):
+    handle = open(path, "rb")
+    header = handle.read(4)
+    if header != b"LEPM":
+        return None              # the handle leaks on this return
+    body = handle.read()
+    handle.close()
+    return body
+
+
+def scan_entries_d10t(path, limit):
+    handle = open(path, "rb")
+    if limit:
+        data = handle.read(limit)
+        handle.close()
+        return data
+    return handle.read()         # leaks on the unlimited path

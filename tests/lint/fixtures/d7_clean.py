@@ -1,0 +1,22 @@
+"""D7 clean twin: the same shape of work, but the blocking callee is
+awaited through the executor and the sync helper on the loop is pure."""
+
+import asyncio
+import zlib
+
+
+def unpack_frame_d7c(blob: bytes) -> bytes:
+    return zlib.decompress(blob)
+
+
+def frame_header_d7c(blob: bytes) -> int:
+    # Pure arithmetic: never blocks, so calling it from the loop is fine.
+    return len(blob) % 251
+
+
+async def handle_request_d7c(blob: bytes) -> bytes:
+    loop = asyncio.get_running_loop()
+    header = frame_header_d7c(blob)
+    data = await loop.run_in_executor(None, unpack_frame_d7c, blob)
+    await asyncio.sleep(0)
+    return data[:header]

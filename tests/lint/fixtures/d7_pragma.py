@@ -1,0 +1,8 @@
+"""D7 pragma twin: a deliberate blocking call, acknowledged in place
+(e.g. a startup-only path before the loop serves traffic)."""
+
+import time
+
+
+async def warm_caches_d7p() -> None:
+    time.sleep(1)  # lint: disable=D7

@@ -1,0 +1,16 @@
+"""D7 trigger: blocking work reaches the event loop — once directly and
+once hidden one call-graph hop away, which a syntactic scan of the async
+body provably cannot see (the body contains no blocking primitive)."""
+
+import time
+import zlib
+
+
+def unpack_frame_d7t(blob: bytes) -> bytes:
+    # A sync helper: fine on a worker thread, fatal on the event loop.
+    return zlib.decompress(blob)
+
+
+async def handle_request_d7t(blob: bytes) -> bytes:
+    time.sleep(1)                   # direct: parks the loop
+    return unpack_frame_d7t(blob)   # transitive: zlib is one hop away

@@ -1,0 +1,7 @@
+"""D8 pragma twin: a deliberately raw diagnostic echo (operator tooling
+that wants the stored bytes exactly as they sit on disk)."""
+
+
+def echo_raw_d8p(store, sock, key):
+    blob = store.entries[key].chunk.payload
+    sock.sendall(blob)  # lint: disable=D8

@@ -1,0 +1,19 @@
+"""D8 trigger: storage bytes reach the socket unverified — once because
+verification covered only one branch (the CFG join keeps the taint from
+the other), and once with no verification at all."""
+
+
+def serve_chunk_d8t(store, sock, key, check):
+    blob = store.entries[key].chunk.payload
+    if check:
+        blob = verify_digest_d8t(blob)
+    sock.sendall(blob)   # tainted whenever check was falsy
+
+
+def relay_chunk_d8t(store, sock, key):
+    blob = store.entries[key].chunk.payload
+    sock.write(blob)     # never verified on any path
+
+
+def verify_digest_d8t(blob: bytes) -> bytes:
+    return blob

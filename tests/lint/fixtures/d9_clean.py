@@ -1,0 +1,25 @@
+"""D9 clean twin: locks guard only synchronous critical sections; every
+``await`` happens after the ``with`` block exits.  A function-level
+"has a lock and an await" scan would flag these — the CFG knows the lock
+is already released."""
+
+import asyncio
+import threading
+
+
+class BoardD9c:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = {}
+
+    async def publish(self, key, value):
+        with self._lock:
+            self._pending[key] = value
+        await asyncio.sleep(0)
+
+    async def drain(self):
+        with self._lock:
+            items = dict(self._pending)
+            self._pending.clear()
+        await asyncio.sleep(0)
+        return items

@@ -1,0 +1,14 @@
+"""D9 pragma twin: a deliberate held-across-await (single-task startup
+code that runs before the loop serves concurrent traffic)."""
+
+import asyncio
+import threading
+
+
+class BootD9p:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    async def warm(self):
+        with self._lock:
+            await asyncio.sleep(0)  # lint: disable=D9

@@ -1,0 +1,25 @@
+"""D9 trigger: a threading lock is held across an ``await`` — on one of
+them only on the empty-board path, so the rule has to know what is held
+at each await, not merely that a lock and an await coexist."""
+
+import asyncio
+import threading
+
+
+class BoardD9t:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = {}
+
+    async def publish(self, key, value):
+        with self._lock:
+            self._pending[key] = value
+            await asyncio.sleep(0)      # held across the await
+
+    async def drain(self):
+        with self._lock:
+            items = dict(self._pending)
+            if not items:
+                await asyncio.sleep(0)  # held on the empty path only
+            self._pending.clear()
+        return items

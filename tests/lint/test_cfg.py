@@ -1,0 +1,268 @@
+"""CFG-builder unit tests: the edges the dataflow rules stand on.
+
+Each test builds the graph for one small function and checks the edges
+that matter — loop back edges, `try/finally` routing for returns and
+exceptions, `async with` enter/exit nodes, `while True` having no
+fall-through, and headers owning only their header expressions.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.lint.cfg import (
+    ENTRY,
+    EXIT,
+    STMT,
+    TEST,
+    WITH_ENTER,
+    WITH_EXIT,
+    build_cfg,
+    function_defs,
+)
+
+pytestmark = pytest.mark.lint
+
+
+def cfg_of(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    func = next(iter(function_defs(tree)))
+    return build_cfg(func)
+
+
+def nodes_of_kind(cfg, kind):
+    return [n for n in cfg.nodes if n.kind == kind]
+
+
+def node_with_source(cfg, fragment: str):
+    """The unique plain-statement node whose source contains ``fragment``.
+
+    Restricted to STMT nodes because compound headers (TEST, WITH_ENTER)
+    carry the whole `ast.If`/`ast.With`, body included, and would match too.
+    """
+    hits = [n for n in cfg.nodes
+            if n.kind == STMT and fragment in ast.unparse(n.stmt)]
+    assert len(hits) == 1, f"{fragment!r} matched {len(hits)} nodes"
+    return hits[0]
+
+
+def reaches(cfg, src: int, dst: int) -> bool:
+    seen, stack = {src}, [src]
+    while stack:
+        for succ in cfg.nodes[stack.pop()].succs:
+            if succ == dst:
+                return True
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return False
+
+
+def test_linear_function_is_a_chain():
+    cfg = cfg_of("""
+        def f(a):
+            x = a + 1
+            return x
+    """)
+    assign = node_with_source(cfg, "x = a + 1")
+    ret = node_with_source(cfg, "return x")
+    assert cfg.nodes[cfg.entry].succs == [assign.index]
+    assert assign.succs == [ret.index]
+    assert ret.succs == [cfg.exit]
+
+
+def test_branch_splits_and_joins():
+    cfg = cfg_of("""
+        def f(a):
+            if a:
+                x = 1
+            else:
+                x = 2
+            return x
+    """)
+    test = nodes_of_kind(cfg, TEST)[0]
+    then = node_with_source(cfg, "x = 1")
+    other = node_with_source(cfg, "x = 2")
+    ret = node_with_source(cfg, "return x")
+    assert set(test.succs) == {then.index, other.index}
+    assert then.succs == [ret.index] and other.succs == [ret.index]
+
+
+def test_if_without_else_falls_through():
+    cfg = cfg_of("""
+        def f(a):
+            if a:
+                x = 1
+            return a
+    """)
+    test = nodes_of_kind(cfg, TEST)[0]
+    ret = node_with_source(cfg, "return a")
+    assert ret.index in test.succs  # the false edge skips the body
+
+
+def test_while_loop_has_back_edge_and_fallthrough():
+    cfg = cfg_of("""
+        def f(n):
+            while n:
+                n = step(n)
+            return n
+    """)
+    test = nodes_of_kind(cfg, TEST)[0]
+    body = node_with_source(cfg, "n = step(n)")
+    ret = node_with_source(cfg, "return n")
+    assert body.index in test.succs
+    assert test.index in body.succs      # back edge
+    assert ret.index in test.succs       # fall-through on falsy test
+
+
+def test_while_true_has_no_fallthrough():
+    cfg = cfg_of("""
+        def f(q):
+            while True:
+                item = q.pop()
+                if item is None:
+                    return item
+    """)
+    while_test = next(n for n in nodes_of_kind(cfg, TEST)
+                      if isinstance(n.stmt, ast.While))
+    assert cfg.exit not in while_test.succs
+    ret = node_with_source(cfg, "return item")
+    # The only way to the exit is through the return.
+    preds = [n.index for n in cfg.nodes if cfg.exit in n.succs]
+    assert preds == [ret.index]
+
+
+def test_break_exits_the_loop():
+    cfg = cfg_of("""
+        def f(xs):
+            for x in xs:
+                if x:
+                    break
+            return 1
+    """)
+    brk = node_with_source(cfg, "break")
+    ret = node_with_source(cfg, "return 1")
+    assert brk.succs == [ret.index]
+
+
+def test_continue_jumps_to_loop_header():
+    cfg = cfg_of("""
+        def f(xs):
+            out = []
+            for x in xs:
+                if not x:
+                    continue
+                out.append(x)
+            return out
+    """)
+    cont = node_with_source(cfg, "continue")
+    header = next(n for n in cfg.nodes
+                  if n.stmt is not None and isinstance(n.stmt, ast.For))
+    assert cont.succs == [header.index]
+
+
+def test_return_in_try_routes_through_finally():
+    cfg = cfg_of("""
+        def f(p):
+            h = acquire(p)
+            try:
+                return use(h)
+            finally:
+                h.close()
+    """)
+    ret = node_with_source(cfg, "return use(h)")
+    close = node_with_source(cfg, "h.close()")
+    # The return must NOT reach the exit directly — only via the finally.
+    assert cfg.exit not in ret.succs
+    assert close.index in ret.succs
+    assert cfg.exit in close.succs
+
+
+def test_exception_in_try_reaches_finally_and_handler():
+    cfg = cfg_of("""
+        def f(p):
+            try:
+                x = work(p)
+            except ValueError:
+                x = None
+            finally:
+                note(p)
+            return x
+    """)
+    work = node_with_source(cfg, "x = work(p)")
+    handler_body = node_with_source(cfg, "x = None")
+    note = node_with_source(cfg, "note(p)")
+    ret = node_with_source(cfg, "return x")
+    # work may raise into the handler head, whose body joins at finally.
+    assert any(cfg.nodes[s].kind == "except" for s in work.succs)
+    assert reaches(cfg, handler_body.index, note.index)
+    assert ret.index in note.succs
+
+
+def test_async_with_gets_enter_and_exit_nodes():
+    cfg = cfg_of("""
+        async def f(gate, w):
+            async with gate:
+                await w.drain()
+            return 1
+    """)
+    enters = nodes_of_kind(cfg, WITH_ENTER)
+    exits = nodes_of_kind(cfg, WITH_EXIT)
+    assert len(enters) == 1 and len(exits) == 1
+    body = node_with_source(cfg, "await w.drain()")
+    assert body.index in enters[0].succs
+    assert exits[0].index in body.succs
+
+
+def test_headers_own_only_their_header_expressions():
+    cfg = cfg_of("""
+        def f(a):
+            if probe(a):
+                mutate(a)
+            return a
+    """)
+    test = nodes_of_kind(cfg, TEST)[0]
+    owned = [ast.unparse(e) for e in test.exprs()]
+    assert owned == ["probe(a)"]  # the body's mutate(a) is its own node
+    texts = {ast.unparse(sub) for sub in test.walk_exprs()
+             if isinstance(sub, ast.Call)}
+    assert texts == {"probe(a)"}
+
+
+def test_nested_def_is_opaque():
+    cfg = cfg_of("""
+        def f(a):
+            def inner():
+                return blocking(a)
+            return inner
+    """)
+    inner = next(n for n in cfg.nodes
+                 if isinstance(n.stmt, ast.FunctionDef))
+    assert inner.exprs() == []  # the nested body is not this CFG's code
+
+
+def test_body_that_always_returns_skips_with_exit():
+    cfg = cfg_of("""
+        def f(lock):
+            with lock:
+                return 1
+    """)
+    assert nodes_of_kind(cfg, WITH_EXIT) == []
+    ret = node_with_source(cfg, "return 1")
+    assert ret.succs == [cfg.exit]
+
+
+def test_entry_and_exit_bracket_every_path():
+    cfg = cfg_of("""
+        def f(a):
+            if a:
+                return 1
+            return 2
+    """)
+    assert cfg.nodes[cfg.entry].kind == ENTRY
+    assert cfg.nodes[cfg.exit].kind == EXIT
+    for node in cfg.nodes:
+        if node.kind == STMT and isinstance(node.stmt, ast.Return):
+            assert node.succs == [cfg.exit]
+    assert cfg.reachable() >= {cfg.entry, cfg.exit}

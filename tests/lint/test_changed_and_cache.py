@@ -1,0 +1,211 @@
+"""Incremental linting: the content-hash cache and `--changed` mode.
+
+The acceptance bar (ISSUE 7): a cached or `--changed` run must produce
+*identical* findings to a cold full run — an incremental linter that
+drops findings is worse than a slow one.
+"""
+
+import json
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    LintCache,
+    LintEngine,
+    main as lint_main,
+    run_lint,
+    ruleset_version,
+)
+from repro.lint.cache import GitUnavailable, changed_files, module_key
+from repro.lint.engine import load_module
+
+pytestmark = pytest.mark.lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _git(repo: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", "-C", str(repo), "-c", "user.name=t",
+         "-c", "user.email=t@example.invalid", *args],
+        check=True, capture_output=True, timeout=30,
+    )
+
+
+def _temp_repo(tmp_path: Path) -> Path:
+    repo = tmp_path / "work"
+    repo.mkdir()
+    _git(repo, "init", "-q")
+    shutil.copy(FIXTURES / "d1_clean.py", repo / "settled.py")
+    _git(repo, "add", "-A")
+    _git(repo, "commit", "-q", "-m", "seed")
+    return repo
+
+
+# --------------------------------------------------------------------------
+# The result cache
+# --------------------------------------------------------------------------
+
+def test_warm_cache_reproduces_cold_findings_exactly(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    files = sorted(FIXTURES.glob("*.py"))
+    engine = LintEngine()
+
+    cold_cache = LintCache(cache_path)
+    cold = engine.run(files, cache=cold_cache)
+    cold_cache.save()
+    assert cold_cache.misses == len(files) and cold_cache.hits == 0
+
+    warm_cache = LintCache(cache_path)
+    warm = engine.run(files, cache=warm_cache)
+    assert warm_cache.hits == len(files) and warm_cache.misses == 0
+    assert warm == cold                      # identical Finding objects
+    assert run_lint(files) == cold           # and identical to cache-off
+
+
+def test_cache_invalidated_by_content_change(tmp_path):
+    target = tmp_path / "module.py"
+    shutil.copy(FIXTURES / "d1_trigger.py", target)
+    cache_path = tmp_path / "cache.json"
+
+    first_cache = LintCache(cache_path)
+    first = LintEngine().run([target], cache=first_cache)
+    first_cache.save()
+    assert any(f.rule == "D1" for f in first)
+
+    target.write_text("VALUE = 1\n")  # rewrite: nothing to flag any more
+    second_cache = LintCache(cache_path)
+    second = LintEngine().run([target], cache=second_cache)
+    assert second == []
+    assert second_cache.misses == 1  # content hash changed, entry ignored
+
+
+def test_cache_keyed_by_ruleset_version(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    cache = LintCache(cache_path)
+    cache.put(load_module(FIXTURES / "d1_trigger.py"), [])
+    cache.save()
+
+    doc = json.loads(cache_path.read_text())
+    assert doc["ruleset"] == ruleset_version()
+    doc["ruleset"] = "0" * 16  # simulate an edit to repro.lint itself
+    cache_path.write_text(json.dumps(doc))
+
+    stale = LintCache(cache_path)
+    assert stale.get(load_module(FIXTURES / "d1_trigger.py")) is None
+
+
+def test_corrupt_cache_file_is_treated_as_empty(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    cache_path.write_text("{not json")
+    cache = LintCache(cache_path)
+    info = load_module(FIXTURES / "d1_trigger.py")
+    assert cache.get(info) is None
+    cache.put(info, [])
+    cache.save()  # and it can still be rewritten cleanly
+    assert LintCache(cache_path).get(info) == []
+
+
+def test_module_key_covers_path_and_content(tmp_path):
+    a = tmp_path / "a.py"
+    b = tmp_path / "b.py"
+    a.write_text("X = 1\n")
+    b.write_text("X = 1\n")
+    key_a = module_key(load_module(a))
+    assert key_a != module_key(load_module(b))   # same bytes, other file
+    a.write_text("X = 2\n")
+    assert key_a != module_key(load_module(a))   # same file, other bytes
+
+
+# --------------------------------------------------------------------------
+# --changed
+# --------------------------------------------------------------------------
+
+def test_changed_files_sees_tracked_edits_and_untracked_files(tmp_path):
+    repo = _temp_repo(tmp_path)
+    assert changed_files(repo) == []
+
+    (repo / "settled.py").write_text("ANSWER = 41 + 1\n")
+    shutil.copy(FIXTURES / "d2_trigger.py", repo / "fresh.py")
+    (repo / "notes.txt").write_text("not python\n")
+
+    assert changed_files(repo) == [repo / "fresh.py", repo / "settled.py"]
+
+
+def test_changed_files_raises_outside_a_work_tree(tmp_path):
+    bare = tmp_path / "plain"
+    bare.mkdir()
+    (bare / "mod.py").write_text("X = 1\n")
+    with pytest.raises(GitUnavailable):
+        changed_files(bare)
+
+
+def test_changed_run_matches_full_run_findings(tmp_path, capsys):
+    """Committed files are clean, the uncommitted one carries the
+    findings — so `--changed` (which lints only the new file) must report
+    exactly what a full run over the tree reports."""
+    repo = _temp_repo(tmp_path)
+    shutil.copy(FIXTURES / "d4_trigger.py", repo / "hot.py")
+
+    assert lint_main(["--json", str(repo)]) == 1
+    full = json.loads(capsys.readouterr().out)
+    assert full["files_scanned"] == 2
+
+    assert lint_main(["--json", "--changed", str(repo)]) == 1
+    incremental = json.loads(capsys.readouterr().out)
+    assert incremental["files_scanned"] == 1
+    assert incremental["findings"] == full["findings"]
+    assert incremental["counts"] == full["counts"]
+
+
+def test_changed_falls_back_to_full_run_without_git(tmp_path, capsys,
+                                                    monkeypatch):
+    import repro.lint.cache as cache_mod
+
+    def refuse(*args, **kwargs):
+        raise OSError("git not on PATH")
+
+    monkeypatch.setattr(cache_mod.subprocess, "run", refuse)
+    shutil.copy(FIXTURES / "d1_trigger.py", tmp_path / "mod.py")
+    status = lint_main(["--changed", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert status == 1                       # full run still happened
+    assert "linting everything" in captured.err
+
+
+def test_d7_method_resolution_is_subset_stable(tmp_path):
+    """A blocking `write` *function* in one module must not make
+    `stream.write(...)` in another module's async handler count as
+    blocking: bare method names never resolve across modules, so a
+    `--changed` subset sees exactly what the full tree sees.  (The first
+    cut of the resolver guessed any globally-unique bare name, and a
+    7-file `--changed` run invented D7 findings the 93-file run did
+    not have.)"""
+    sink = tmp_path / "sink.py"
+    sink.write_text("def write(path, data):\n"
+                    "    with open(path, 'wb') as h:\n"
+                    "        h.write(data)\n")
+    server = tmp_path / "server.py"
+    server.write_text("async def pump(stream, data):\n"
+                      "    stream.write(data)\n")
+    alone = [f for f in run_lint([server]) if f.rule == "D7"]
+    joint = [f for f in run_lint([sink, server]) if f.rule == "D7"]
+    assert alone == joint == []
+
+
+def test_changed_with_cache_through_the_cli(tmp_path, capsys):
+    repo = _temp_repo(tmp_path)
+    shutil.copy(FIXTURES / "d5_trigger.py", repo / "hot.py")
+    cache_path = tmp_path / "cli-cache.json"
+
+    assert lint_main(["--json", "--changed", "--cache", str(cache_path),
+                      str(repo)]) == 1
+    first = json.loads(capsys.readouterr().out)
+
+    assert lint_main(["--json", "--changed", "--cache", str(cache_path),
+                      str(repo)]) == 1
+    second = json.loads(capsys.readouterr().out)
+    assert second == first                   # byte-identical report dicts

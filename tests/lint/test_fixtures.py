@@ -12,8 +12,10 @@ pytestmark = pytest.mark.lint
 FIXTURES = Path(__file__).parent / "fixtures"
 
 # D3 is project-wide (needs the enum + pin table); its fixtures live in
-# test_d3_exhaustiveness.py as a synthetic tree.
-PER_MODULE_RULES = ["D1", "D2", "D4", "D5", "D6"]
+# test_d3_exhaustiveness.py as a synthetic tree.  D7 is also project-wide
+# but works on a single file (its call-graph summary covers the fixture
+# itself), so it lives here with the per-module dataflow rules D8–D10.
+PER_MODULE_RULES = ["D1", "D2", "D4", "D5", "D6", "D7", "D8", "D9", "D10"]
 
 
 def rules_hit(path: Path):

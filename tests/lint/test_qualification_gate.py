@@ -34,6 +34,24 @@ def test_findings_block_qualification(monkeypatch):
     assert report.compressed == 0 and report.files_total == 0
 
 
+def test_dataflow_findings_block_qualification_too(monkeypatch):
+    """The gate refuses D7–D10 findings the same way it refuses D1–D6:
+    check_shipped_tree runs the whole registry, so a blocking call on the
+    serve path is as disqualifying as a float on the coded path."""
+    finding = Finding("D7", "src/repro/serve/app.py", 368, 8,
+                      "blocking call on the event loop: hashlib.sha256(...)")
+    monkeypatch.setattr(repro.lint, "check_shipped_tree", lambda: [finding])
+    report = qualify_build(small_corpus(), build_id="loopblock")
+    assert not report.qualified
+    assert report.failures[0].name == "lint:D7"
+    assert report.compressed == 0
+
+
+def test_gate_sees_the_full_rule_registry():
+    from repro.lint import all_rules
+    assert [r.id for r in all_rules()][-4:] == ["D7", "D8", "D9", "D10"]
+
+
 def test_gate_can_be_bypassed_for_unit_tests(monkeypatch):
     finding = Finding("D2", "x.py", 1, 0, "ambient entropy")
     monkeypatch.setattr(repro.lint, "check_shipped_tree", lambda: [finding])

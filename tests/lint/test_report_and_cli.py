@@ -10,6 +10,7 @@ from repro.lint import (
     SCHEMA_VERSION,
     all_rules,
     main as lint_main,
+    render_json,
     render_text,
     run_lint,
     to_json_dict,
@@ -23,10 +24,13 @@ FIXTURES = Path(__file__).parent / "fixtures"
 def test_json_schema_fields():
     findings = run_lint([FIXTURES / "d1_trigger.py"])
     doc = to_json_dict(findings, files_scanned=1)
-    assert doc["version"] == SCHEMA_VERSION == 1
+    assert doc["version"] == SCHEMA_VERSION == 2
     assert doc["tool"] == "repro.lint"
+    assert doc["dataflow"] is True
     assert doc["files_scanned"] == 1
     assert doc["rules"] == [r.id for r in all_rules()]
+    # Rule ids sort numerically (D2 before D10), not lexicographically.
+    assert doc["rules"].index("D2") < doc["rules"].index("D10")
     assert doc["clean"] is False
     assert doc["counts"]["D1"] == len(doc["findings"]) > 0
     for entry in doc["findings"]:
@@ -58,7 +62,7 @@ def test_module_main_json_output(capsys):
     status = lint_main(["--json", str(FIXTURES / "d2_trigger.py")])
     doc = json.loads(capsys.readouterr().out)
     assert status == 1
-    assert doc["version"] == 1 and doc["counts"]["D2"] >= 2
+    assert doc["version"] == 2 and doc["counts"]["D2"] >= 2
 
 
 def test_lepton_lint_subcommand(capsys):
@@ -72,3 +76,23 @@ def test_lepton_lint_json(capsys):
     assert cli.main(["lint", "--json", str(FIXTURES / "d5_trigger.py")]) == 1
     doc = json.loads(capsys.readouterr().out)
     assert doc["tool"] == "repro.lint" and doc["counts"]["D5"] >= 2
+
+
+def test_reports_are_byte_identical_across_runs():
+    """Two runs over the same tree render the same bytes — the ISSUE 7
+    determinism contract for both reporters."""
+    files = len(list(FIXTURES.glob("*.py")))
+    first = run_lint([FIXTURES])
+    second = run_lint([FIXTURES])
+    assert first, "fixture corpus should produce findings"
+    assert render_json(first, files) == render_json(second, files)
+    assert render_text(first, files) == render_text(second, files)
+
+
+def test_reporters_sort_defensively():
+    """Reporters order findings themselves, whatever order they arrive in."""
+    findings = run_lint([FIXTURES])
+    shuffled = list(reversed(findings))
+    files = len(list(FIXTURES.glob("*.py")))
+    assert render_json(shuffled, files) == render_json(findings, files)
+    assert render_text(shuffled, files) == render_text(findings, files)

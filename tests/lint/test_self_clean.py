@@ -9,7 +9,7 @@ from pathlib import Path
 import pytest
 
 import repro
-from repro.lint import check_shipped_tree, run_lint
+from repro.lint import all_rules, check_shipped_tree, default_config, run_lint
 
 pytestmark = pytest.mark.lint
 
@@ -27,3 +27,22 @@ def test_check_shipped_tree_is_clean_and_memoised():
     assert check_shipped_tree() == []
     # Second call must serve the memoised copy (same contents, cheap).
     assert check_shipped_tree() == []
+
+
+def test_registry_holds_all_ten_rules_in_numeric_order():
+    assert [rule.id for rule in all_rules()] == [
+        "D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9", "D10",
+    ]
+
+
+def test_dataflow_scopes_cover_serve_and_the_linter_itself():
+    """The self-clean gate only means something if the expanded scopes
+    actually bind: the serve path gets all four dataflow rules, and the
+    linter's own sources are under D4/D5/D9/D10 (so the analysis code is
+    held to the invariants it enforces)."""
+    config = default_config()
+    for rule_id in ("D7", "D8", "D9", "D10"):
+        assert config.in_scope(rule_id, "repro.serve.app"), rule_id
+    assert config.in_scope("D7", "repro.storage.blockstore")  # callee summaries
+    for rule_id in ("D4", "D5", "D9", "D10"):
+        assert config.in_scope(rule_id, "repro.lint.engine"), rule_id

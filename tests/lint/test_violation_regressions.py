@@ -1,6 +1,10 @@
-"""Regression tests for the real D2–D5 violations the first lint run of the
-shipped tree surfaced (the D1 fixed-point regressions live next to the
-model tests in tests/core/test_model.py).
+"""Regression tests for the real violations the first lint runs of the
+shipped tree surfaced: the D2–D5 batch from the original rule set (the D1
+fixed-point regressions live next to the model tests in
+tests/core/test_model.py), and the D7/D4 batch the dataflow pass found —
+a sha256 of the whole upload body computed on the event loop in
+`serve.app`, and two unlocked module-global writes inside the linter
+itself.
 
 Each test pins the *behavioural* fix, so a revert re-fails here even
 before the static pass catches the pattern again.
@@ -8,6 +12,7 @@ before the static pass catches the pattern again.
 
 import signal
 import threading
+from pathlib import Path
 
 import pytest
 
@@ -115,3 +120,93 @@ class TestBackfillShutoffDrain:
         assert worker.stats.chunks_processed == 1
         assert len(uploads) == 1
         assert ExitCode.SERVER_SHUTDOWN not in worker.stats.exit_codes
+
+
+class TestD7ContentHashOffTheEventLoop:
+    """serve.app: hashing the whole PUT body ran inline in the handler —
+    CPU time proportional to the upload, serialising every connection.
+    The dataflow pass (D7) flagged it; the digest now runs on the
+    executor next to the codec."""
+
+    def app_source(self):
+        import repro.serve.app as app_mod
+        return Path(app_mod.__file__).read_text()
+
+    def test_shipped_handler_has_no_blocking_findings(self):
+        from repro.lint import run_lint
+        import repro.serve.app as app_mod
+        findings = run_lint([Path(app_mod.__file__)])
+        assert [f for f in findings if f.rule == "D7"] == []
+
+    def test_reverting_to_an_inline_digest_refails_d7(self):
+        """Put the old line back and the rule must fire again — proof the
+        pass actually guards this site rather than happening to be quiet."""
+        from repro.lint import lint_source
+        source = self.app_source()
+        fixed = ("file_id = await loop.run_in_executor(\n"
+                 "            None, lambda: hashlib.sha256(data).hexdigest())")
+        assert fixed in source
+        reverted = source.replace(
+            fixed, "file_id = hashlib.sha256(data).hexdigest()")
+        findings = [f for f in lint_source(reverted, module="repro.serve.app",
+                                           in_package=True)
+                    if f.rule == "D7"]
+        assert any("sha256" in f.message for f in findings)
+
+    def test_put_still_content_addresses_by_sha256(self):
+        """The behavioural half: moving the digest onto the executor must
+        not have changed *what* it computes — ids are still the body's
+        sha256, so dedupe and GET-by-id survive the refactor."""
+        import asyncio
+        import hashlib
+
+        from repro.serve.app import LeptonServer, ServeConfig
+        from repro.serve.client import ServeClient
+        from repro.corpus.builder import corpus_jpeg
+
+        body = corpus_jpeg(seed=11, height=32, width=32)
+
+        async def scenario():
+            server = LeptonServer(ServeConfig(chunk_size=4096))
+            await server.start()
+            try:
+                async with ServeClient(server.config.host,
+                                       server.port) as client:
+                    put = await client.put_file(body)
+                    assert put.status == 201, put.body
+                    return put.json()["id"]
+            finally:
+                await server.drain()
+
+        assert asyncio.run(scenario()) == hashlib.sha256(body).hexdigest()
+
+
+class TestD4LinterGlobalsAreLockGuarded:
+    """repro.lint: the rule-set digest memo and the rule registry are
+    module-level shared state; the first self-run of D4 over the linter's
+    own tree flagged both writes as unlocked."""
+
+    def test_ruleset_version_is_stable_under_concurrency(self):
+        import repro.lint.cache as cache_mod
+        with cache_mod._ruleset_lock:
+            cache_mod._ruleset_memo.clear()
+        out = []
+        out_lock = threading.Lock()
+
+        def probe():
+            version = cache_mod.ruleset_version()
+            with out_lock:
+                out.append(version)
+
+        threads = [threading.Thread(target=probe) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(out)) == 1 and len(out[0]) == 16
+
+    def test_linter_tree_passes_its_own_lock_rule(self):
+        import repro.lint as lint_pkg
+        from repro.lint import run_lint
+        findings = run_lint([Path(lint_pkg.__file__).parent])
+        assert [f for f in findings if f.rule in ("D4", "D9", "D10")] == []
