@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint lint-json lint-changed lint-bench lint-tests chaos serve serve-tests serve-smoke
+.PHONY: test lint lint-json lint-changed lint-bench lint-tests chaos durability serve serve-tests serve-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -13,6 +13,11 @@ test:
 # zero-wrong-bytes invariant (run with -m chaos; see docs/deployment.md).
 chaos:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m chaos
+
+# The durability suite: crash-recovery kill sweep, backend contracts,
+# replication/read-repair, and the scrub loop (docs/durability.md).
+durability:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m durability
 
 # The determinism/safety static analysis (docs/lint.md).  Runs the full
 # rule set D1-D10 — syntactic rules plus the CFG/dataflow passes — and

@@ -11,13 +11,18 @@ latency distribution instead of completing late), which is exactly the
 accounting artifact §6.1's "never return corrupted data, never time out"
 framing warns against — so this figure stresses crashes and 8x slow nodes,
 where hedging rescues stragglers instead of merely reviving casualties.
+
+The second scenario is the storage-side sibling (`lepton chaos
+--backend`, docs/durability.md): the crash-recovery kill-point sweep plus
+the replicated scrub/repair drill, run to a `DurabilityReport` whose
+verdict the table summarises.
 """
 
 import pytest
 
 from _harness import SCALE, emit
 from repro.analysis.tables import format_table
-from repro.faults.chaos import run_fleet_chaos
+from repro.faults.chaos import run_backend_chaos, run_fleet_chaos
 from repro.faults.plan import FaultPlan
 
 HOURS = 0.3 * max(1.0, SCALE)
@@ -66,3 +71,43 @@ def test_chaos_availability(benchmark):
     assert with_policies["availability"] > without["availability"]
     assert with_policies["p99"] < without["p99"]
     assert with_policies["abandoned"] <= without["abandoned"]
+
+
+DURABILITY_SEED = 3
+DURABILITY_READS = int(40 * max(1.0, SCALE))
+DURABILITY_PLAN = FaultPlan.generate(seed=DURABILITY_SEED, duration=60.0)
+
+
+def test_backend_durability(benchmark):
+    def run():
+        return run_backend_chaos(DURABILITY_PLAN, seed=DURABILITY_SEED,
+                                 reads=DURABILITY_READS, replicas=3)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    outcomes = sorted(set(report.kill_points.values()))
+    emit("chaos_durability", format_table(
+        ["check", "value"],
+        [
+            ["kill points recovered",
+             f"{len(report.kill_points)} ({'/'.join(outcomes)})"],
+            ["at-rest corruptions", report.at_rest_corruptions],
+            ["scrub detected / repaired",
+             f"{report.scrub_detected} / {report.scrub_repaired}"],
+            ["in-band read repairs", report.read_repairs],
+            ["reads served / degraded / wrong bytes",
+             f"{report.reads_served} / {report.reads_degraded} / "
+             f"{report.wrong_bytes}"],
+            ["unrepairable chunks", report.scrub_unrepairable],
+            ["final scrub pass clean", report.second_pass_clean],
+            ["replicas converged", report.replicas_converged],
+            ["durable", report.durable],
+        ],
+        title=f"backend durability drill seed={DURABILITY_SEED} "
+              f"(3 replicas, {DURABILITY_READS} reads)",
+    ))
+    # The §5.7 verdict, and proof both repair paths actually ran.
+    assert report.durable
+    assert report.kill_points_ok and len(report.kill_points) >= 8
+    assert report.wrong_bytes == 0
+    assert report.scrub_repaired > 0       # scrubber healed round one
+    assert report.read_repairs > 0         # reads healed round two in-band

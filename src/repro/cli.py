@@ -166,15 +166,29 @@ def _chaos(args) -> int:
     """Run a deterministic chaos experiment and print the report.
 
     The report is a pure function of ``(--seed, --plan)``: running the same
-    pair twice must print byte-identical output (tested).
+    pair twice must print byte-identical output (tested).  ``--backend``
+    switches to the durability drill (docs/durability.md): the crash-
+    recovery kill-point sweep plus the replicated scrub/repair exercise.
     """
-    from repro.faults.chaos import run_chaos
+    from repro.faults.chaos import run_backend_chaos, run_chaos
     from repro.faults.plan import FaultPlan
 
     plan = None
     if args.plan is not None:
         with open(args.plan, "r") as handle:
             plan = FaultPlan.from_json(handle.read())
+    if args.backend:
+        if plan is None:
+            plan = FaultPlan.generate(seed=args.seed,
+                                      duration=args.hours * 3600.0)
+        durability = run_backend_chaos(
+            plan, seed=args.seed, reads=args.reads, replicas=args.replicas,
+        )
+        print(durability.to_json() if args.as_json else durability.render(),
+              end="")
+        # A lost acknowledged put, a wrong byte, or an unhealed replica
+        # all void the §5.7 promise.
+        return 0 if durability.durable else 1
     report = run_chaos(
         plan=plan,
         seed=args.seed,
@@ -210,6 +224,10 @@ def _serve(args, config: LeptonConfig) -> int:
         shutoff_dir=args.shutoff_dir,
         fault_plan=plan,
         fault_seed=args.seed,
+        data_dir=args.data_dir,
+        replicas=args.replicas,
+        scrub_interval=args.scrub_interval,
+        idle_timeout=args.idle_timeout,
     )
 
     async def _run() -> None:
@@ -355,6 +373,14 @@ def main(argv=None) -> int:
     parser.add_argument("--no-policies", action="store_true",
                         help="for chaos: disable retry/hedging/breakers/"
                              "fallback (the control run)")
+    parser.add_argument("--backend", action="store_true",
+                        help="for chaos: run the storage-backend "
+                             "durability drill (kill-point crash sweep + "
+                             "replicated scrub/repair) instead of the "
+                             "fleet replay")
+    parser.add_argument("--replicas", type=int, default=3,
+                        help="for chaos --backend / serve --data-dir: "
+                             "storage replica count")
     parser.add_argument("--host", default="127.0.0.1",
                         help="for serve: bind address")
     parser.add_argument("--port", type=int, default=0,
@@ -374,6 +400,15 @@ def main(argv=None) -> int:
     parser.add_argument("--shutoff-dir", metavar="DIR", default=None,
                         help="for serve: directory watched for the §5.7 "
                              "shutoff file (default: system temp)")
+    parser.add_argument("--data-dir", metavar="DIR", default=None,
+                        help="for serve: root of the crash-consistent "
+                             "durable store (default: in-memory)")
+    parser.add_argument("--scrub-interval", type=float, default=None,
+                        help="for serve: seconds between background "
+                             "scrub passes (requires --data-dir)")
+    parser.add_argument("--idle-timeout", type=float, default=None,
+                        help="for serve: per-connection read timeout in "
+                             "seconds (slow-loris guard; default: none)")
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] in NO_INPUT_COMMANDS and (len(argv) == 1
                                                   or argv[1].startswith("-")):

@@ -11,7 +11,9 @@ from repro.faults.injector import (
     FleetFaultInjector,
     ReadFaultInjector,
     corrupt_at_rest,
+    corrupt_backend_at_rest,
 )
+from repro.faults.killpoints import KILL_POINTS, KillPointError, KillPoints
 from repro.faults.plan import (
     CrashFault,
     FaultPlan,
@@ -26,9 +28,13 @@ __all__ = [
     "CrashFault",
     "FaultPlan",
     "FleetFaultInjector",
+    "KILL_POINTS",
+    "KillPointError",
+    "KillPoints",
     "NetworkFault",
     "ReadFaultInjector",
     "SlowFault",
     "StorageFaultConfig",
     "corrupt_at_rest",
+    "corrupt_backend_at_rest",
 ]

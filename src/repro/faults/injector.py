@@ -153,3 +153,31 @@ def corrupt_at_rest(store, config: StorageFaultConfig, rng,
         )
         registry.counter("faults.injected", kind="at_rest_bitflip").inc()
     return count
+
+
+def corrupt_backend_at_rest(backend, config: StorageFaultConfig, rng,
+                            registry: Optional[MetricsRegistry] = None
+                            ) -> int:
+    """Persistently rot up to ``at_rest_corruptions`` chunk *blobs* on one
+    storage backend (repro.storage.backends) — the durable-mode twin of
+    :func:`corrupt_at_rest`.
+
+    Aim it at a single replica of a
+    :class:`~repro.storage.backends.ReplicatedBackend` to model one
+    machine's disk rotting while its peers stay clean: validated reads
+    and the scrubber must then repair the replica without ever serving a
+    wrong byte.  Keys are drawn over the sorted ``chunk/`` key list so
+    the damage is a pure function of the rng state.
+    """
+    registry = registry if registry is not None else get_registry()
+    keys = backend.keys("chunk/")
+    if not keys or config.at_rest_corruptions <= 0:
+        return 0
+    count = min(config.at_rest_corruptions, len(keys))
+    chosen = rng.choice(len(keys), size=count, replace=False)
+    for index in sorted(int(i) for i in chosen):
+        key = keys[index]
+        kind = config.kinds[int(rng.integers(len(config.kinds)))]
+        backend.write(key, _corrupt_payload(backend.read(key), kind, rng))
+        registry.counter("faults.injected", kind=f"at_rest_{kind}").inc()
+    return count

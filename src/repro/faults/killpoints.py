@@ -1,0 +1,105 @@
+"""Deterministic crash injection at named protocol steps (§5.7 proof).
+
+The durable put protocol (docs/durability.md) is a fixed sequence of
+journal appends and backend writes.  *Asserting* that a crash anywhere in
+that sequence is recoverable is cheap; *proving* it means actually
+crashing at every step.  This module names each step as a **kill point**:
+the protocol calls :meth:`KillPoints.reach` as it passes each one, and an
+armed harness raises :class:`KillPointError` there — a deterministic
+power cut, minus the electrician.
+
+The closed set :data:`KILL_POINTS` is the contract between the protocol
+and the crash-recovery suite (``tests/storage/test_crash_recovery.py``):
+``reach`` refuses names outside the set, so adding a journal step without
+registering (and therefore testing) its kill point is a loud failure,
+and the suite asserts a scripted workload *visits* every registered
+point, so a registered-but-dead name fails too.
+
+Points suffixed ``.torn`` are special: the journal consults
+:meth:`KillPoints.will_fire` *before* appending so it can stage a torn
+record — half a line fsynced to disk, then the crash — exercising the
+CRC-framed tail-truncation path rather than a clean cut between records.
+"""
+
+from typing import Dict, Set, Tuple
+
+#: Every crash point in the durable put protocol, in protocol order.
+#: Points up to and including ``journal.commit.torn`` must be invisible
+#: after recovery (the put was never acknowledged); from
+#: ``journal.commit.post`` on, recovery must *redo* the put (the commit
+#: record is durable, so the write is owed to the client).
+KILL_POINTS: Tuple[str, ...] = (
+    "journal.intent.torn",    # crash mid-append of the intent record
+    "journal.intent.post",    # intent durable, no payload written yet
+    "backend.chunk.first",    # first chunk blob landed
+    "backend.chunk.rest",     # all chunk blobs landed
+    "backend.originals",      # kept-original blobs landed
+    "journal.commit.torn",    # crash mid-append of the commit record
+    "journal.commit.post",    # commit durable — the point of no return
+    "backend.file_record",    # file-record blob landed
+    "store.index.post",       # in-memory index updated
+    "journal.checkpoint.pre",  # about to truncate the journal
+)
+
+
+class KillPointError(RuntimeError):
+    """The simulated power cut.  Nothing in the protocol catches this."""
+
+    def __init__(self, name: str):
+        super().__init__(f"killed at {name}")
+        self.name = name
+
+
+class KillPoints:
+    """Arms kill points and records which ones a workload visited.
+
+    A disarmed instance is a pure tracer: ``reach`` records the visit and
+    returns.  ``arm(name, hits=k)`` makes the *k*-th visit to ``name``
+    raise — ``hits`` lets a sweep kill the second put of a workload after
+    the first survived, proving recovery under pre-existing state.
+    """
+
+    def __init__(self) -> None:
+        self._armed: Dict[str, int] = {}
+        self.seen: Set[str] = set()
+        self.fired: Tuple[str, ...] = ()
+
+    def arm(self, name: str, hits: int = 1) -> None:
+        """Crash at the ``hits``-th future visit to ``name``."""
+        self._check(name)
+        if hits < 1:
+            raise ValueError(f"hits must be >= 1, got {hits}")
+        self._armed[name] = hits
+
+    def disarm(self) -> None:
+        """Clear all armed points (visit tracking is kept)."""
+        self._armed.clear()
+
+    def will_fire(self, name: str) -> bool:
+        """Would the *next* visit to ``name`` crash?  (Used by the journal
+        to stage a torn record before reaching the point.)"""
+        self._check(name)
+        return self._armed.get(name) == 1
+
+    def reach(self, name: str) -> None:
+        """The protocol passed ``name``; crash here if armed."""
+        self._check(name)
+        self.seen.add(name)
+        remaining = self._armed.get(name)
+        if remaining is None:
+            return
+        if remaining > 1:
+            self._armed[name] = remaining - 1
+            return
+        del self._armed[name]
+        self.fired = self.fired + (name,)
+        raise KillPointError(name)
+
+    @staticmethod
+    def _check(name: str) -> None:
+        if name not in KILL_POINTS:
+            raise ValueError(
+                f"unknown kill point {name!r}; register it in "
+                f"repro.faults.killpoints.KILL_POINTS (and add it to the "
+                f"crash-recovery sweep) first"
+            )

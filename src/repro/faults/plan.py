@@ -63,11 +63,20 @@ class StorageFaultConfig:
     stored payloads *persistently* (only the original-JPEG fallback can
     serve those files).  Kinds: ``bitflip``, ``truncate``, ``torn`` (a
     torn write: the payload tail replaced with zeros).
+
+    The backend-level probabilities drive
+    :class:`~repro.storage.backends.FaultyBackend` (PR-8 durability):
+    ``write_torn_probability`` silently truncates a replica's blob on
+    write, ``unavailable_probability`` makes an operation fail with
+    ``BackendUnavailable``.  Both default to 0 so existing plans are
+    unchanged.
     """
 
     read_corrupt_probability: float = 0.3
     at_rest_corruptions: int = 2
     kinds: "tuple" = ("bitflip", "truncate", "torn")
+    write_torn_probability: float = 0.0
+    unavailable_probability: float = 0.0
 
 
 @dataclass
@@ -127,6 +136,12 @@ class FaultPlan:
                     at_rest_corruptions=storage.get("at_rest_corruptions", 2),
                     kinds=tuple(storage.get("kinds", ("bitflip", "truncate",
                                                       "torn"))),
+                    write_torn_probability=storage.get(
+                        "write_torn_probability", 0.0
+                    ),
+                    unavailable_probability=storage.get(
+                        "unavailable_probability", 0.0
+                    ),
                 )
                 if storage is not None else None
             ),

@@ -122,3 +122,126 @@ class ChaosReport:
         else:
             lines.append("  (none)")
         return "\n".join(lines) + "\n"
+
+
+@dataclass
+class DurabilityReport:
+    """Outcome of one ``lepton chaos --backend`` run: the crash-recovery
+    kill-point sweep plus the replicated scrub/repair drill.
+
+    Byte-reproducible for a given ``(seed, plan)``: no paths, no clocks —
+    the temp directories the drill runs in never appear here.
+    """
+
+    seed: int
+    replicas: int
+    plan_summary: Dict[str, object]
+    # -- crash-recovery sweep -------------------------------------------
+    #: kill point → outcome: "rolled_back" (pre-commit crash left no
+    #: trace) or "redone" (post-commit crash recovered the put); any
+    #: other value is a broken recovery and fails the run.
+    kill_points: Dict[str, str] = field(default_factory=dict)
+    # -- replicated scrub drill -----------------------------------------
+    files: int = 0
+    chunks: int = 0
+    at_rest_corruptions: int = 0
+    reads_attempted: int = 0
+    reads_served: int = 0
+    reads_degraded: int = 0
+    reads_failed: int = 0
+    wrong_bytes: int = 0
+    read_repairs: int = 0
+    scrub_detected: int = 0
+    scrub_repaired: int = 0
+    scrub_unrepairable: int = 0
+    second_pass_clean: bool = False
+    replicas_converged: bool = False
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def kill_points_ok(self) -> bool:
+        return bool(self.kill_points) and all(
+            outcome in ("rolled_back", "redone")
+            for outcome in self.kill_points.values()
+        )
+
+    @property
+    def durable(self) -> bool:
+        """The §5.7 verdict: nothing lost, nothing wrong, all healed."""
+        return (self.kill_points_ok and self.wrong_bytes == 0
+                and self.scrub_unrepairable == 0 and self.second_pass_clean
+                and self.replicas_converged)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "replicas": self.replicas,
+            "plan": dict(sorted(self.plan_summary.items())),
+            "kill_points": dict(sorted(self.kill_points.items())),
+            "scrub_drill": {
+                "files": self.files,
+                "chunks": self.chunks,
+                "at_rest_corruptions": self.at_rest_corruptions,
+                "reads_attempted": self.reads_attempted,
+                "reads_served": self.reads_served,
+                "reads_degraded": self.reads_degraded,
+                "reads_failed": self.reads_failed,
+                "wrong_bytes": self.wrong_bytes,
+                "read_repairs": self.read_repairs,
+                "scrub_detected": self.scrub_detected,
+                "scrub_repaired": self.scrub_repaired,
+                "scrub_unrepairable": self.scrub_unrepairable,
+                "second_pass_clean": self.second_pass_clean,
+                "replicas_converged": self.replicas_converged,
+            },
+            "faults_injected": dict(sorted(self.faults_injected.items())),
+            "durable": self.durable,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-readable report (still byte-deterministic)."""
+        lines = [
+            "durability report",
+            "=================",
+            f"seed: {self.seed}",
+            f"replicas: {self.replicas}",
+            "plan: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.plan_summary.items())
+            ),
+            "",
+            "crash-recovery kill sweep",
+            "-------------------------",
+        ]
+        for point, outcome in sorted(self.kill_points.items()):
+            lines.append(f"  {point}: {outcome}")
+        lines += [
+            "",
+            "replicated scrub drill",
+            "----------------------",
+            f"  files/chunks:        {self.files}/{self.chunks}",
+            f"  at-rest corruptions: {self.at_rest_corruptions}",
+            f"  reads served:        {self.reads_served}"
+            f"/{self.reads_attempted}"
+            f" (degraded {self.reads_degraded},"
+            f" failed {self.reads_failed})",
+            f"  wrong bytes:         {self.wrong_bytes}",
+            f"  read repairs:        {self.read_repairs}",
+            f"  scrub detected:      {self.scrub_detected}",
+            f"  scrub repaired:      {self.scrub_repaired}",
+            f"  unrepairable:        {self.scrub_unrepairable}",
+            f"  second pass clean:   {self.second_pass_clean}",
+            f"  replicas converged:  {self.replicas_converged}",
+            "",
+            "faults injected",
+            "---------------",
+        ]
+        if self.faults_injected:
+            for kind, count in sorted(self.faults_injected.items()):
+                lines.append(f"  {kind}: {count}")
+        else:
+            lines.append("  (none)")
+        lines += ["", f"durable: {self.durable}"]
+        return "\n".join(lines) + "\n"

@@ -48,6 +48,9 @@ DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
         "repro.storage.qualification",
         "repro.storage.retry",
         "repro.storage.quotas",
+        "repro.storage.backends",
+        "repro.storage.journal",
+        "repro.storage.scrub",
         "repro.faults.*",
         "repro.serve.*",
         "repro.lint.*",
@@ -74,6 +77,9 @@ DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
         "repro.storage.qualification",
         "repro.storage.retry",
         "repro.storage.quotas",
+        "repro.storage.backends",
+        "repro.storage.journal",
+        "repro.storage.scrub",
         "repro.faults.*",
         "repro.serve.*",
         "repro.lint.*",

@@ -37,15 +37,21 @@ from repro.serve.faults import LiveFaultInjector
 from repro.serve.http import (
     HttpError,
     Request,
+    RequestTimeout,
     json_body,
     parse_range,
     read_request,
     render_head,
 )
-from repro.storage.blockstore import BlockStore, IntegrityError
+from repro.storage.blockstore import (
+    BlockStore,
+    IntegrityError,
+    open_durable_store,
+)
 from repro.storage.quotas import QuotaBoard, QuotaExceeded
 from repro.storage.retry import RetryPolicy
 from repro.storage.safety import ShutoffSwitch
+from repro.storage.scrub import Scrubber
 
 #: The documented API surface: every (method, route) the server answers.
 #: ``tests/test_docs.py`` diffs this against the docs/serve.md endpoint
@@ -87,6 +93,20 @@ class ServeConfig:
     shutoff_dir: Optional[str] = None
     fault_plan: Optional[FaultPlan] = None
     fault_seed: int = 0
+    # -- durability (docs/durability.md) --------------------------------
+    #: Root directory for the crash-consistent store; ``None`` keeps the
+    #: store in memory (the pre-PR-8 behaviour, and the test default).
+    data_dir: Optional[str] = None
+    #: Filesystem replicas under ``data_dir`` (quorum writes, validated
+    #: reads with read-repair when > 1).
+    replicas: int = 1
+    #: Seconds between background scrub passes; ``None`` disables the
+    #: loop (``Scrubber.run_once`` can still be driven manually).
+    scrub_interval: Optional[float] = None
+    # -- slow-loris guard ------------------------------------------------
+    #: Per-connection read timeout (seconds) covering the idle wait, each
+    #: header line, and each body read; ``None`` disables it.
+    idle_timeout: Optional[float] = None
 
 
 class LeptonServer:
@@ -103,16 +123,10 @@ class LeptonServer:
                               registry=self.registry)
             if self.config.fault_plan is not None else None
         )
-        self.store = BlockStore(
-            chunk_size=self.config.chunk_size,
-            config=self.config.lepton,
-            keep_originals=self.config.keep_originals,
-            read_retry=RetryPolicy(
-                max_attempts=self.config.read_retry_attempts),
-            read_fault=(self.injector.read_fault
-                        if self.injector is not None else None),
-            quotas=self.quotas,
-        )
+        self.store = self._build_store()
+        self.scrubber = (Scrubber(self.store, registry=self.registry)
+                         if self.store.durable else None)
+        self._scrub_task: Optional[asyncio.Task] = None
         self.shutoff = ShutoffSwitch(directory=self.config.shutoff_dir)
         self.gate = AdmissionGate(self.config.max_inflight,
                                   self.config.queue_depth, self.registry)
@@ -123,6 +137,34 @@ class LeptonServer:
         self._t0 = time.monotonic()
         self._declare_metrics()
 
+    def _build_store(self) -> BlockStore:
+        """The verified chunk store — durable when ``data_dir`` is set."""
+        read_retry = RetryPolicy(max_attempts=self.config.read_retry_attempts)
+        read_fault = (self.injector.read_fault
+                      if self.injector is not None else None)
+        if self.config.data_dir is None:
+            return BlockStore(
+                chunk_size=self.config.chunk_size,
+                config=self.config.lepton,
+                keep_originals=self.config.keep_originals,
+                read_retry=read_retry,
+                read_fault=read_fault,
+                quotas=self.quotas,
+            )
+        # Crash recovery (journal replay, rollback, index rebuild) runs
+        # here, before the socket opens: a request can never observe a
+        # half-recovered store.
+        return open_durable_store(
+            self.config.data_dir,
+            replicas=self.config.replicas,
+            chunk_size=self.config.chunk_size,
+            config=self.config.lepton,
+            keep_originals=self.config.keep_originals,
+            quotas=self.quotas,
+            read_retry=read_retry,
+            read_fault=read_fault,
+        )
+
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
@@ -131,6 +173,15 @@ class LeptonServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._t0 = time.monotonic()
+        if self.scrubber is not None and self.config.scrub_interval:
+            self._scrub_task = asyncio.create_task(self._scrub_loop())
+
+    async def _scrub_loop(self) -> None:
+        """Periodic scrub passes, off the event loop (lint D7)."""
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.config.scrub_interval)
+            await loop.run_in_executor(None, self.scrubber.run_once)
 
     async def drain(self) -> None:
         """Graceful §5.7 drain: refuse new work, finish in-flight, close.
@@ -141,6 +192,9 @@ class LeptonServer:
         """
         start = time.monotonic()
         self.draining = True
+        if self._scrub_task is not None:
+            self._scrub_task.cancel()
+            self._scrub_task = None
         if self._server is not None:
             self._server.close()
         await self.gate.drained(timeout=self.config.drain_timeout)
@@ -181,6 +235,8 @@ class LeptonServer:
             registry.histogram("serve.request.seconds", route=route)
         registry.histogram("serve.ttfb_seconds")
         registry.histogram("serve.drain.seconds")
+        for stage in ("idle", "head", "body"):
+            registry.counter("serve.timeouts", stage=stage)
 
     # -- connection handling ----------------------------------------------
 
@@ -190,9 +246,26 @@ class LeptonServer:
         try:
             while True:
                 try:
-                    request = await read_request(reader)
+                    request = await read_request(
+                        reader, timeout=self.config.idle_timeout)
                 except HttpError as exc:
                     await self._send_error(writer, None, "*", exc)
+                    break
+                except RequestTimeout as exc:
+                    if not exc.request_line:
+                        # An idle keep-alive connection timing out is
+                        # housekeeping, not a protocol error: close quietly.
+                        self.registry.counter("serve.timeouts",
+                                              stage="idle").inc()
+                        break
+                    # Mid-headers stall (slow loris): a request line was
+                    # parsed, so the client is owed a 408 before the close.
+                    self.registry.counter("serve.timeouts",
+                                          stage="head").inc()
+                    await self._send_error(
+                        writer, None, "*",
+                        HttpError(408, "request_timeout", str(exc),
+                                  headers={"Connection": "close"}))
                     break
                 if request is None:
                     break
@@ -315,7 +388,17 @@ class LeptonServer:
             state, status = "shutoff", 503
         else:
             state, status = "ok", 200
-        body, headers = json_body({"status": state})
+        payload = {"status": state}
+        if self.store.durable:
+            # Backend description walks the filesystem (key counts):
+            # blocking I/O, so it runs on the executor like the codec.
+            loop = asyncio.get_running_loop()
+            payload["backend"] = await loop.run_in_executor(
+                None, self.store.backend.describe)
+            payload["backend"]["damaged_entries"] = self.store.damaged_entries
+            if self.scrubber is not None:
+                payload["scrub"] = self.scrubber.describe()
+        body, headers = json_body(payload)
         if status == 503:
             headers["Retry-After"] = str(self.config.retry_after)
         await self._send(writer, request, "/healthz", status, body, headers)
@@ -384,8 +467,7 @@ class LeptonServer:
             self.injector.corrupt_after_put(self.store)
         if not existed:
             self.registry.counter("serve.files.stored").inc()
-        stored = sum(len(self.store.entries[key].chunk.payload)
-                     for key in record.chunk_keys)
+        stored = self.store.stored_bytes_for(record)
         formats = {self.store.entries[key].chunk.format
                    for key in record.chunk_keys}
         body, headers = json_body({
@@ -406,7 +488,23 @@ class LeptonServer:
         pieces = []
         remaining = length
         while remaining:
-            piece = await reader.read(min(_READ_PIECE, remaining))
+            read = reader.read(min(_READ_PIECE, remaining))
+            if self.config.idle_timeout is not None:
+                try:
+                    piece = await asyncio.wait_for(
+                        read, self.config.idle_timeout)
+                except asyncio.TimeoutError:
+                    # Slow-loris body: the client stalled mid-upload while
+                    # holding an admission slot.  408 and close.
+                    self.registry.counter("serve.timeouts",
+                                          stage="body").inc()
+                    raise HttpError(
+                        408, "request_timeout",
+                        f"body stalled at {length - remaining}/{length} "
+                        f"bytes", headers={"Connection": "close"},
+                    ) from None
+            else:
+                piece = await read
             if not piece:
                 raise HttpError(400, "bad_request",
                                 f"body truncated at {length - remaining}"

@@ -12,6 +12,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.obs import get_registry
+from repro.storage.retry import RetryPolicy
+
+#: Methods safe to replay blindly: a GET/HEAD that died on the wire can
+#: be reissued without risking a double side effect.  A PUT is retried
+#: only once, on a dead *kept-alive* socket (the server never saw it).
+IDEMPOTENT_METHODS = ("GET", "HEAD")
+
 
 @dataclass
 class Response:
@@ -29,11 +37,28 @@ class Response:
 
 
 class ServeClient:
-    """One keep-alive connection to a server; reconnects transparently."""
+    """One keep-alive connection to a server; reconnects transparently.
 
-    def __init__(self, host: str, port: int):
+    With a :class:`~repro.storage.retry.RetryPolicy` attached, idempotent
+    requests (:data:`IDEMPOTENT_METHODS`) additionally survive connection
+    resets/refusals mid-exchange: up to ``retry.max_attempts`` tries with
+    the policy's seeded capped-exponential backoff — e.g. riding out a
+    fault plan's network-loss window that severs connections before the
+    response head.  Non-idempotent methods keep only the single
+    dead-keep-alive reconnect (replaying a PUT blindly could double
+    apply).  Retries count under ``retry.attempts{scope=serve_client}``.
+    """
+
+    def __init__(self, host: str, port: int,
+                 retry: Optional[RetryPolicy] = None, retry_seed: int = 0):
         self.host = host
         self.port = port
+        self.retry = retry
+        self._retry_rng = None
+        if retry is not None:
+            import numpy as np
+
+            self._retry_rng = np.random.default_rng(retry_seed)
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
@@ -61,15 +86,44 @@ class ServeClient:
     async def request(self, method: str, target: str,
                       body: bytes = b"",
                       headers: Optional[Dict[str, str]] = None) -> Response:
-        """Issue one request; retries once on a dead kept-alive socket."""
+        """Issue one request; retries once on a dead kept-alive socket,
+        and — with a :class:`RetryPolicy` attached — keeps retrying
+        idempotent methods through resets/refusals with backoff."""
         try:
             if self._writer is None:
                 await self._connect()
             return await self._round_trip(method, target, body, headers or {})
-        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+        except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
             await self.close()
+            if (self.retry is not None
+                    and method.upper() in IDEMPOTENT_METHODS):
+                return await self._retry_idempotent(method, target, body,
+                                                    headers or {}, exc)
             await self._connect()
             return await self._round_trip(method, target, body, headers or {})
+
+    async def _retry_idempotent(self, method, target, body, headers,
+                                first_error: Exception) -> Response:
+        """Bounded policy-driven retries after the first attempt died."""
+        registry = get_registry()
+        policy = self.retry
+        started = time.monotonic()
+        error = first_error
+        # The caller's try was attempt 1; ``retry_no`` numbers the retries.
+        for retry_no in range(1, policy.max_attempts):
+            if not policy.should_retry(retry_no,
+                                       time.monotonic() - started):
+                break
+            await asyncio.sleep(policy.backoff(retry_no, rng=self._retry_rng))
+            registry.counter("retry.attempts", scope="serve_client").inc()
+            try:
+                await self._connect()
+                return await self._round_trip(method, target, body, headers)
+            except (ConnectionError, asyncio.IncompleteReadError,
+                    OSError) as exc:
+                error = exc
+                await self.close()
+        raise error
 
     async def _round_trip(self, method, target, body, headers) -> Response:
         lines = [f"{method} {target} HTTP/1.1",

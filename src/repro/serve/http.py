@@ -25,6 +25,7 @@ STATUS_REASONS: Dict[int, str] = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     411: "Length Required",
     413: "Payload Too Large",
     416: "Range Not Satisfiable",
@@ -43,6 +44,21 @@ class HttpError(Exception):
         self.error = error
         self.detail = detail
         self.headers = headers or {}
+
+
+class RequestTimeout(Exception):
+    """The client stalled past the configured read timeout (slow loris).
+
+    ``request_line`` records whether a request line had already arrived:
+    if it had, the server owes the client a ``408`` before closing; if
+    the connection was simply idle, it is closed silently (an idle
+    keep-alive connection timing out is normal, not an error).
+    """
+
+    def __init__(self, request_line: bool):
+        stage = "mid-headers" if request_line else "while idle"
+        super().__init__(f"client stalled {stage}")
+        self.request_line = request_line
 
 
 @dataclass
@@ -89,16 +105,32 @@ class Request:
         return connection != "close"
 
 
-async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
-    """Parse one request head; ``None`` on a clean EOF between requests."""
-    try:
-        head = await reader.readuntil(b"\r\n\r\n")
-    except asyncio.IncompleteReadError as exc:
-        if not exc.partial:
+async def read_request(reader: asyncio.StreamReader,
+                       timeout: Optional[float] = None) -> Optional[Request]:
+    """Parse one request head; ``None`` on a clean EOF between requests.
+
+    With ``timeout`` set, the head is read in two phases so a stalled
+    client (slow loris) cannot hold the connection forever: the request
+    line gets ``timeout`` seconds, then each header line gets ``timeout``
+    seconds.  A stall raises :class:`RequestTimeout` — flagged with
+    whether a request line had arrived, so the caller knows whether a
+    ``408`` response is owed.
+    """
+    if timeout is None:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise HttpError(400, "bad_request",
+                            "truncated request head") from exc
+        except asyncio.LimitOverrunError as exc:
+            raise HttpError(400, "bad_request",
+                            "request head too large") from exc
+    else:
+        head = await _read_head_timed(reader, timeout)
+        if head is None:
             return None
-        raise HttpError(400, "bad_request", "truncated request head") from exc
-    except asyncio.LimitOverrunError as exc:
-        raise HttpError(400, "bad_request", "request head too large") from exc
     if len(head) > MAX_HEAD_BYTES:
         raise HttpError(400, "bad_request", "request head too large")
     lines = head.decode("latin-1").split("\r\n")
@@ -124,6 +156,40 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
                         "Transfer-Encoding is unsupported; send Content-Length")
     return Request(method=method.upper(), path=path, query=query,
                    version=version, headers=headers)
+
+
+async def _read_head_timed(reader: asyncio.StreamReader,
+                           timeout: float) -> Optional[bytes]:
+    """Collect one request head line by line under a per-line timeout."""
+    try:
+        line = await asyncio.wait_for(reader.readuntil(b"\r\n"), timeout)
+    except asyncio.TimeoutError:
+        raise RequestTimeout(request_line=False) from None
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "bad_request", "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(400, "bad_request", "request head too large") from exc
+    pieces = [line]
+    total = len(line)
+    while True:
+        try:
+            line = await asyncio.wait_for(reader.readuntil(b"\r\n"), timeout)
+        except asyncio.TimeoutError:
+            raise RequestTimeout(request_line=True) from None
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "bad_request",
+                            "truncated request head") from exc
+        except asyncio.LimitOverrunError as exc:
+            raise HttpError(400, "bad_request",
+                            "request head too large") from exc
+        pieces.append(line)
+        total += len(line)
+        if line == b"\r\n":
+            return b"".join(pieces)
+        if total > MAX_HEAD_BYTES:
+            raise HttpError(400, "bad_request", "request head too large")
 
 
 def render_head(status: int, headers: Dict[str, str],

@@ -7,18 +7,36 @@ production md5-style integrity check of the stored payload.
 """
 
 import hashlib
+import os
+import threading
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.chunks import StoredChunk, compress_chunked, decompress_chunk
 from repro.core.errors import LeptonError
 from repro.core.lepton import FORMAT_LEPTON, LeptonConfig, decompress_chunks
+from repro.faults.killpoints import KillPoints
 from repro.obs import get_registry
+from repro.storage.backends import (
+    BackendError,
+    BlobError,
+    FilesystemBackend,
+    ReplicatedBackend,
+    StorageBackend,
+    decode_blob,
+    encode_blob,
+)
 from repro.storage.chunking import CHUNK_SIZE
+from repro.storage.journal import Journal
 from repro.storage.quotas import QuotaBoard
 from repro.storage.retry import RetryPolicy
+
+
+def file_blob_key(name: str) -> str:
+    """Backend key of a file record (names may hold unsafe characters)."""
+    return "file/" + hashlib.sha256(name.encode()).hexdigest()
 
 
 class IntegrityError(RuntimeError):
@@ -73,11 +91,37 @@ class BlockStore:
     #: store unmetered.  ``put_file`` charges logical (uploaded) bytes against
     #: the tenant's budget and records the stored footprint after compression.
     quotas: Optional[QuotaBoard] = None
+    # -- durable mode (repro.storage.backends / docs/durability.md) ------
+    #: Key→blob backend holding the authoritative bytes.  When set, every
+    #: serving read fetches the payload from the backend (the in-memory
+    #: entry keeps only integrity metadata plus a payload copy used for
+    #: accounting) and ``put_file`` runs the journaled crash-safe protocol.
+    backend: Optional[StorageBackend] = None
+    #: Write-ahead journal making multi-chunk puts atomic (required when
+    #: ``backend`` is set; see :meth:`recover`).
+    journal: Optional[Journal] = None
+    #: Crash-injection harness; ``None`` in production paths.
+    kill: Optional[KillPoints] = None
+    #: Recovery outcome counters (mirrored into ``storage.recovery.*``).
+    recovered_files: int = 0
+    rolled_back_puts: int = 0
+    damaged_entries: int = 0
+    _put_lock: threading.Lock = field(default_factory=threading.Lock,
+                                      repr=False)
+    _put_seq: int = 0
+
+    @property
+    def durable(self) -> bool:
+        return self.backend is not None
 
     @property
     def _recovery_enabled(self) -> bool:
         return (self.read_retry is not None or self.keep_originals
-                or self.read_fault is not None)
+                or self.read_fault is not None or self.backend is not None)
+
+    def _reach(self, name: str) -> None:
+        if self.kill is not None:
+            self.kill.reach(name)
 
     def put_file(self, name: str, data: bytes, tenant: str = "default",
                  reserved: int = 0) -> FileRecord:
@@ -109,7 +153,7 @@ class BlockStore:
                     raise
             reserved = max(reserved, len(data))
         try:
-            record, stored = self._admit_file(name, data)
+            record, stored = self._admit_file(name, data, tenant)
         except Exception:
             if self.quotas is not None:
                 self.quotas.release(tenant, reserved)
@@ -139,15 +183,33 @@ class BlockStore:
             pos += size
         return pos == len(data)
 
-    def _admit_file(self, name: str, data: bytes):
+    def _admit_file(self, name: str, data: bytes, tenant: str = "default"):
         """Admission proper; returns ``(record, stored_bytes)`` — ``record``
         is ``None`` when ``name`` was already stored byte-identically (the
         put is idempotent: no recompression, no re-charge)."""
         if self._is_duplicate_put(name, data):
             return None, 0
-        chunks = compress_chunked(data, self.chunk_size, self.config)
+        verified = self._compress_verified(name, data)
+        if self.durable:
+            return self._admit_durable(name, data, tenant, verified)
         keys = []
         stored = 0
+        for key, chunk, original in verified:
+            if self.keep_originals and key not in self.originals:
+                self.originals[key] = zlib.compress(original, 6)
+            self._index_chunk(key, chunk)
+            stored += len(chunk.payload)
+            keys.append(key)
+        record = FileRecord(name, keys, len(data))
+        self.files[name] = record
+        return record, stored
+
+    def _compress_verified(self, name: str,
+                           data: bytes) -> List[Tuple[str, StoredChunk, bytes]]:
+        """Compress ``data`` and run every chunk through the round-trip
+        admission gate; pure compute, no store mutation."""
+        chunks = compress_chunked(data, self.chunk_size, self.config)
+        verified = []
         for chunk in chunks:
             a, b = chunk.original_range
             original = data[a:b]
@@ -157,24 +219,214 @@ class BlockStore:
                 raise IntegrityError(
                     f"chunk {chunk.index} of {name!r} failed the round-trip gate"
                 )
-            key = hashlib.sha256(original).hexdigest()
-            if self.keep_originals and key not in self.originals:
-                self.originals[key] = zlib.compress(original, 6)
-            if key not in self.entries:
-                self.entries[key] = StoreEntry(
-                    chunk=chunk,
-                    payload_md5=hashlib.md5(chunk.payload).hexdigest(),
-                    original_sha256=key,
-                )
-                self.admissions += 1
-                if chunk.format == FORMAT_LEPTON:
-                    self.lepton_bytes_in += len(original)
-                    self.lepton_bytes_out += len(chunk.payload)
-            stored += len(chunk.payload)
-            keys.append(key)
-        record = FileRecord(name, keys, len(data))
-        self.files[name] = record
+            verified.append(
+                (hashlib.sha256(original).hexdigest(), chunk, original))
+        return verified
+
+    def _index_chunk(self, key: str, chunk: StoredChunk) -> None:
+        """Admit one verified chunk into the in-memory index (dedup-aware)."""
+        if key in self.entries:
+            return
+        self.entries[key] = StoreEntry(
+            chunk=chunk,
+            payload_md5=hashlib.md5(chunk.payload).hexdigest(),
+            original_sha256=key,
+        )
+        self.admissions += 1
+        if chunk.format == FORMAT_LEPTON:
+            self.lepton_bytes_in += chunk.original_size
+            self.lepton_bytes_out += len(chunk.payload)
+
+    # -- the durable put protocol (docs/durability.md) --------------------
+
+    def _admit_durable(self, name: str, data: bytes, tenant: str,
+                       verified: List[Tuple[str, StoredChunk, bytes]]):
+        """Journaled crash-safe admission.
+
+        Protocol order (each step is a registered kill point — see
+        ``repro.faults.killpoints.KILL_POINTS``):
+
+        1. append the **intent** record (names the put and its chunk keys);
+        2. write every chunk blob, then every kept-original blob;
+        3. append the **commit** record carrying the *full* file meta —
+           this fsync is the point of no return: before it, recovery
+           rolls the put back; after it, recovery redoes it;
+        4. write the file-record blob (redo-able from the commit record,
+           which is why it comes *after* the commit: a crash between a
+           re-put's file-blob overwrite and its commit could otherwise
+           lose the previously acknowledged version);
+        5. update the in-memory index and checkpoint the journal.
+        """
+        keys = [key for key, _chunk, _original in verified]
+        stored = sum(len(chunk.payload) for _key, chunk, _original in verified)
+        with self._put_lock:
+            self._put_seq += 1
+            put_id = self._put_seq
+            self.journal.append(
+                {"type": "intent", "put": put_id, "name": name,
+                 "keys": keys, "size": len(data)},
+                kill_point="journal.intent.torn",
+            )
+            self._reach("journal.intent.post")
+            for i, (key, chunk, original) in enumerate(verified):
+                meta = {"index": chunk.index, "format": chunk.format,
+                        "osize": len(original)}
+                self.backend.write(f"chunk/{key}",
+                                   encode_blob(meta, chunk.payload))
+                if i == 0:
+                    self._reach("backend.chunk.first")
+            self._reach("backend.chunk.rest")
+            if self.keep_originals:
+                for key, _chunk, original in verified:
+                    self.backend.write(
+                        f"orig/{key}",
+                        encode_blob({"osize": len(original)},
+                                    zlib.compress(original, 6)),
+                    )
+                self._reach("backend.originals")
+            file_meta = {"name": name, "keys": keys, "size": len(data),
+                         "tenant": tenant, "stored": stored}
+            self.journal.append(
+                {"type": "commit", "put": put_id, "file": file_meta},
+                kill_point="journal.commit.torn",
+            )
+            self._reach("journal.commit.post")
+            self.backend.write(file_blob_key(name), encode_blob(file_meta, b""))
+            self._reach("backend.file_record")
+            for key, chunk, _original in verified:
+                self._index_chunk(key, chunk)
+            record = FileRecord(name, keys, len(data))
+            self.files[name] = record
+            self._reach("store.index.post")
+            # Every journaled effect is now in the backend: bound replay.
+            self.journal.checkpoint()
         return record, stored
+
+    def recover(self) -> dict:
+        """Startup recovery: make backend + index agree with the journal.
+
+        Replays the journal (truncating any torn tail), **redoes** every
+        committed put whose file-record blob may be missing (the commit
+        record carries the full meta, so the redo is a pure idempotent
+        blob write), **rolls back** every intent without a commit by
+        deleting its chunk/original blobs — unless a committed file also
+        references them (content-addressed dedup) — and rebuilds the
+        in-memory index, byte accounting, and quota ledger from the
+        backend's file records.  Chunks whose blobs are unreadable on
+        every replica become *damaged* placeholder entries: they still
+        serve via the kept-original fallback and are rebuilt by the
+        scrubber.  Idempotent: recovering twice is a no-op.
+        """
+        if not self.durable:
+            raise IntegrityError("recover() requires a backend and journal")
+        registry = get_registry()
+        records = self.journal.replay()
+        intents: Dict[int, dict] = {}
+        commits: Dict[int, dict] = {}
+        for record in records:
+            put_id = int(record.get("put", 0))
+            self._put_seq = max(self._put_seq, put_id)
+            if record.get("type") == "intent":
+                intents[put_id] = record
+            elif record.get("type") == "commit":
+                commits[put_id] = record
+        # Redo committed puts: the file-record blob write may have been
+        # lost in the crash; rewriting it from the commit meta is safe.
+        for put_id in sorted(commits):
+            file_meta = commits[put_id]["file"]
+            self.backend.write(file_blob_key(file_meta["name"]),
+                               encode_blob(file_meta, b""))
+        # Load the authoritative file set, then roll back orphan intents.
+        file_metas = self._load_file_metas()
+        referenced = set()
+        for file_meta in file_metas:
+            referenced.update(file_meta["keys"])
+        rolled_back = 0
+        for put_id in sorted(intents):
+            if put_id in commits:
+                continue
+            for key in intents[put_id]["keys"]:
+                if key not in referenced:
+                    self.backend.delete(f"chunk/{key}")
+                    self.backend.delete(f"orig/{key}")
+            rolled_back += 1
+        self._rebuild_index(file_metas)
+        self.journal.checkpoint()
+        self.recovered_files = len(file_metas)
+        self.rolled_back_puts = rolled_back
+        registry.counter("storage.recovery.files").inc(len(file_metas))
+        registry.counter("storage.recovery.redone").inc(len(commits))
+        registry.counter("storage.recovery.rolled_back").inc(rolled_back)
+        registry.counter("storage.recovery.damaged").inc(self.damaged_entries)
+        return {
+            "files": len(file_metas),
+            "redone": len(commits),
+            "rolled_back": rolled_back,
+            "damaged": self.damaged_entries,
+        }
+
+    def _load_file_metas(self) -> List[dict]:
+        """All intact file-record metas in the backend, sorted by name."""
+        metas = []
+        for blob_key in self.backend.keys("file/"):
+            try:
+                meta, _payload = decode_blob(self.backend.read(blob_key))
+            except (KeyError, BackendError):
+                continue  # a torn file blob: its put never committed
+            if isinstance(meta.get("name"), str) and "keys" in meta:
+                metas.append(meta)
+        return sorted(metas, key=lambda m: m["name"])
+
+    def _rebuild_index(self, file_metas: List[dict]) -> None:
+        self.files.clear()
+        self.entries.clear()
+        self.originals.clear()
+        self.admissions = 0
+        self.lepton_bytes_in = 0
+        self.lepton_bytes_out = 0
+        self.damaged_entries = 0
+        for file_meta in file_metas:
+            name = file_meta["name"]
+            keys = list(file_meta["keys"])
+            size = int(file_meta["size"])
+            self.files[name] = FileRecord(name, keys, size)
+            for i, key in enumerate(keys):
+                if key in self.entries:
+                    continue
+                # Chunking is fixed-size, so the original size of every
+                # chunk is derivable from its position — the one fact a
+                # damaged blob cannot tell us itself.
+                osize = min(self.chunk_size, size - i * self.chunk_size)
+                self.entries[key] = self._load_entry(key, osize)
+            if self.quotas is not None:
+                self.quotas.commit(str(file_meta.get("tenant", "default")),
+                                   0, size, int(file_meta.get("stored", 0)))
+
+    def _load_entry(self, key: str, osize: int) -> StoreEntry:
+        """One chunk entry from its backend blob; damaged placeholder if
+        no replica holds an intact blob (originals fallback still serves
+        it, and the scrubber rebuilds it from a healed replica)."""
+        try:
+            meta, payload = decode_blob(self.backend.read(f"chunk/{key}"))
+            digest = meta["md5"]
+            if hashlib.md5(payload).hexdigest() != digest:
+                raise IntegrityError(f"rotten chunk blob {key[:12]}")
+            chunk = StoredChunk(int(meta["index"]), str(meta["format"]),
+                                payload, (0, int(meta.get("osize", osize))))
+        except (KeyError, BackendError, IntegrityError, TypeError, ValueError):
+            self.damaged_entries += 1
+            return StoreEntry(
+                chunk=StoredChunk(0, "damaged", b"", (0, osize)),
+                payload_md5="",
+                original_sha256=key,
+            )
+        entry = StoreEntry(chunk=chunk, payload_md5=digest,
+                           original_sha256=key)
+        self.admissions += 1
+        if chunk.format == FORMAT_LEPTON:
+            self.lepton_bytes_in += chunk.original_size
+            self.lepton_bytes_out += len(payload)
+        return entry
 
     def _verify_and_decode(self, key: str, entry: StoreEntry,
                            payload: bytes) -> bytes:
@@ -190,13 +442,42 @@ class BlockStore:
             raise IntegrityError(f"decode digest mismatch for {key[:12]}")
         return data
 
+    def _payload(self, key: str, entry: StoreEntry) -> bytes:
+        """One payload read — from the backend in durable mode (so at-rest
+        faults and replica repair are actually exercised), from the
+        in-memory entry otherwise."""
+        if self.backend is None:
+            return entry.chunk.payload
+        try:
+            raw = self.backend.read(f"chunk/{key}")
+        except KeyError:
+            raise IntegrityError(f"chunk blob missing for {key[:12]}") from None
+        try:
+            _meta, payload = decode_blob(raw)
+        except BlobError as exc:
+            raise IntegrityError(
+                f"chunk blob unparseable for {key[:12]}") from exc
+        return payload
+
+    def _original(self, key: str) -> Optional[bytes]:
+        """The kept deflate-compressed original, wherever it lives."""
+        original = self.originals.get(key)
+        if original is not None or self.backend is None:
+            return original
+        try:
+            _meta, payload = decode_blob(self.backend.read(f"orig/{key}"))
+        except (KeyError, BackendError):
+            return None
+        return payload
+
     def get_chunk(self, key: str) -> bytes:
         """Retrieve and decode one chunk, verifying payload integrity.
 
         With recovery configured (``read_retry`` / ``keep_originals`` /
-        ``read_fault``) a verification failure triggers a bounded re-read
-        and then the original-JPEG fallback; corrupt Lepton output is
-        *never* returned — both digest gates sit in front of every exit.
+        ``read_fault`` / a durable ``backend``) a verification failure
+        triggers a bounded re-read and then the original-JPEG fallback;
+        corrupt Lepton output is *never* returned — both digest gates sit
+        in front of every exit.
         """
         entry = self.entries[key]
         if not self._recovery_enabled:
@@ -211,18 +492,23 @@ class BlockStore:
         for attempt in range(1, attempts + 1):
             if attempt > 1:
                 registry.counter("retry.attempts", scope="blockstore").inc()
-            payload = entry.chunk.payload
-            if self.read_fault is not None:
-                payload = self.read_fault(key, payload, attempt)
             try:
+                payload = self._payload(key, entry)
+                if self.read_fault is not None:
+                    payload = self.read_fault(key, payload, attempt)
                 return self._verify_and_decode(key, entry, payload)
-            except (IntegrityError, LeptonError, zlib.error) as exc:
+            except (IntegrityError, LeptonError, BackendError,
+                    zlib.error) as exc:
                 error = exc
         # Out of re-reads: the payload is rotten at rest.  Serve the kept
         # original if we have one — the §5.7 durability promise.
-        original = self.originals.get(key)
+        original = self._original(key)
         if original is not None:
-            data = zlib.decompress(original)
+            try:
+                data = zlib.decompress(original)
+            except zlib.error as exc:
+                raise IntegrityError(
+                    f"fallback blob rotten for {key[:12]}") from exc
             if hashlib.sha256(data).hexdigest() != entry.original_sha256:
                 raise IntegrityError(
                     f"fallback digest mismatch for {key[:12]}"
@@ -247,10 +533,11 @@ class BlockStore:
         clients do.
         """
         entry = self.entries[key]
-        if hashlib.md5(entry.chunk.payload).hexdigest() != entry.payload_md5:
+        payload = self._payload(key, entry)
+        if hashlib.md5(payload).hexdigest() != entry.payload_md5:
             raise IntegrityError(f"payload digest mismatch for {key[:12]}")
         digest = hashlib.sha256()
-        for piece in decompress_chunks([entry.chunk.payload]):
+        for piece in decompress_chunks([payload]):
             digest.update(piece)
             yield piece
         if digest.hexdigest() != entry.original_sha256:
@@ -325,6 +612,14 @@ class BlockStore:
             time.monotonic() - begin  # lint: disable=D2
         )
 
+    def stored_bytes_for(self, record: FileRecord) -> int:
+        """Stored (compressed) footprint of one file's chunks.
+
+        Accounting only — reads the in-memory payload copies, never the
+        backend (a damaged placeholder counts as zero until repaired)."""
+        return sum(len(self.entries[key].chunk.payload)
+                   for key in record.chunk_keys if key in self.entries)
+
     @property
     def stored_bytes(self) -> int:
         return sum(len(e.chunk.payload) for e in self.entries.values())
@@ -334,3 +629,50 @@ class BlockStore:
         if self.lepton_bytes_in == 0:
             return 0.0
         return 1.0 - self.lepton_bytes_out / self.lepton_bytes_in
+
+
+def open_durable_store(
+    root: str,
+    *,
+    replicas: int = 1,
+    backends: Optional[List[StorageBackend]] = None,
+    chunk_size: int = CHUNK_SIZE,
+    config: Optional[LeptonConfig] = None,
+    keep_originals: bool = True,
+    quotas: Optional[QuotaBoard] = None,
+    read_retry: Optional[RetryPolicy] = None,
+    read_fault: Optional[Callable[[str, bytes, int], bytes]] = None,
+    kill: Optional[KillPoints] = None,
+) -> BlockStore:
+    """Open (or create) a crash-consistent store rooted at ``root``.
+
+    Layout: ``root/replica-<i>/`` per filesystem replica (wrapped in a
+    :class:`~repro.storage.backends.ReplicatedBackend` when ``replicas``
+    > 1, with blob self-validation driving read-repair) plus
+    ``root/journal.wal``.  ``backends`` overrides the replica set — the
+    chaos harness passes :class:`~repro.storage.backends.FaultyBackend`
+    wrappers here.  Startup recovery runs before the store is returned,
+    so an acknowledged put from the previous life is readable and a
+    partial one is gone.
+    """
+    if backends is None:
+        backends = [
+            FilesystemBackend(os.path.join(str(root), f"replica-{i}"))
+            for i in range(max(1, replicas))
+        ]
+    backend: StorageBackend
+    backend = backends[0] if len(backends) == 1 else ReplicatedBackend(backends)
+    journal = Journal(os.path.join(str(root), "journal.wal"), kill=kill)
+    store = BlockStore(
+        chunk_size=chunk_size,
+        config=config if config is not None else LeptonConfig(),
+        keep_originals=keep_originals,
+        quotas=quotas,
+        read_retry=read_retry,
+        read_fault=read_fault,
+        backend=backend,
+        journal=journal,
+        kill=kill,
+    )
+    store.recover()
+    return store

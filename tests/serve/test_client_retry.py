@@ -1,0 +1,117 @@
+"""ServeClient retry: idempotent GETs survive severed connections
+(docs/serve.md, satellite of docs/durability.md).
+
+The server side of the drill is the PR-4 fault plan applied live: a
+network-loss window with ``loss_probability=1.0`` severs every ``/files``
+exchange before the response head, and the client's
+:class:`~repro.storage.retry.RetryPolicy` backoff carries the request
+past the window's end.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.faults.plan import FaultPlan, NetworkFault
+from repro.obs import get_registry
+from repro.serve.app import ServeConfig
+from repro.serve.client import ServeClient
+from repro.storage.retry import RetryPolicy
+
+from tests.serve.conftest import with_server
+
+pytestmark = [pytest.mark.serve, pytest.mark.durability]
+
+
+def _retry_counts():
+    return {
+        labels["scope"]: counter.value
+        for labels, counter in get_registry().series("retry.attempts")
+    }
+
+
+def _dropping_server_config(start: float, window: float) -> ServeConfig:
+    plan = FaultPlan(network=[
+        NetworkFault(start=start, duration=window, loss_probability=1.0),
+    ])
+    return ServeConfig(chunk_size=4096, fault_plan=plan, fault_seed=7)
+
+
+def test_get_rides_out_a_loss_window(small_jpeg):
+    policy = RetryPolicy(max_attempts=12, base_delay=0.1,
+                         multiplier=2.0, max_delay=0.5)
+
+    async def scenario(server, _client):
+        retry_client = ServeClient(server.config.host, server.port,
+                                   retry=policy, retry_seed=3)
+        async with retry_client:
+            # The loss window opens at t=1s: the PUT lands before it, the
+            # GET is issued inside it and must retry its way out the far
+            # side (every /files exchange in the window is severed).
+            put = await retry_client.put_file(small_jpeg)
+            assert put.status == 201
+            file_id = put.json()["id"]
+            await asyncio.sleep(1.2)
+            response = await retry_client.get_file(file_id)
+        assert response.status == 200
+        assert response.body == small_jpeg
+        return _retry_counts()
+
+    counts = with_server(scenario,
+                         _dropping_server_config(start=1.0, window=1.0))
+    assert counts.get("serve_client", 0) >= 1
+
+
+def test_put_is_not_blindly_retried(small_jpeg):
+    """A severed PUT exchange must NOT be replayed by the policy loop:
+    the server may have admitted the bytes before the cut."""
+    policy = RetryPolicy(max_attempts=10, base_delay=0.05)
+
+    async def scenario(server, _client):
+        retry_client = ServeClient(server.config.host, server.port,
+                                   retry=policy, retry_seed=3)
+        async with retry_client:
+            # The loss window covers /files for its whole duration; the
+            # single dead-keep-alive reconnect also lands inside it.
+            with pytest.raises((ConnectionError,
+                                asyncio.IncompleteReadError, OSError)):
+                await retry_client.put_file(small_jpeg)
+        return _retry_counts()
+
+    counts = with_server(scenario,
+                         _dropping_server_config(start=0.0, window=30.0))
+    assert counts.get("serve_client", 0) == 0  # no policy-driven replays
+
+
+def test_retry_exhaustion_reraises_the_wire_error():
+    policy = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.02)
+
+    # A window longer than the whole retry budget: every attempt dies.
+    config = _dropping_server_config(start=0.0, window=30.0)
+
+    async def failing(server, _client):
+        retry_client = ServeClient(server.config.host, server.port,
+                                   retry=policy, retry_seed=3)
+        async with retry_client:
+            with pytest.raises((ConnectionError,
+                                asyncio.IncompleteReadError, OSError)):
+                await retry_client.request("GET", "/files/deadbeef")
+        return _retry_counts()
+
+    counts = with_server(failing, config)
+    assert counts.get("serve_client", 0) == policy.max_attempts - 1
+
+
+def test_client_without_policy_keeps_legacy_reconnect(small_jpeg):
+    """No policy attached: behaviour is the pre-existing single reconnect
+    (a dead kept-alive socket), nothing more."""
+
+    async def scenario(server, client):
+        put = await client.put_file(small_jpeg)
+        assert put.status == 201
+        got = await client.get_file(put.json()["id"])
+        assert got.status == 200 and got.body == small_jpeg
+        return _retry_counts()
+
+    counts = with_server(scenario, ServeConfig(chunk_size=4096))
+    assert counts.get("serve_client", 0) == 0

@@ -1,0 +1,107 @@
+"""Idle/read timeouts: the slow-loris guard (docs/serve.md).
+
+A client that connects and never speaks is closed silently; one that got
+a request line out but then stalls gets ``408 Request Timeout`` — the
+server can only apologise to a peer it can still parse.  Both paths count
+under ``serve.timeouts{stage=...}``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve.app import ServeConfig
+from repro.serve.client import ServeClient
+
+from tests.serve.conftest import with_server
+
+pytestmark = [pytest.mark.serve, pytest.mark.durability]
+
+TIMEOUT = 0.15
+
+
+def _config():
+    return ServeConfig(chunk_size=4096, idle_timeout=TIMEOUT)
+
+
+def _timeout_counts(server):
+    return {
+        labels["stage"]: counter.value
+        for labels, counter in server.registry.series("serve.timeouts")
+    }
+
+
+def test_idle_connection_closed_silently():
+    async def scenario(server, client):
+        reader, writer = await asyncio.open_connection(
+            server.config.host, server.port)
+        got = await asyncio.wait_for(reader.read(64), 5)
+        writer.close()
+        assert got == b""  # no request line: nothing to answer
+        counts = _timeout_counts(server)
+        assert counts["idle"] == 1
+        assert counts["head"] == 0
+        # A healthy exchange still works after the reaping.
+        response = await client.request("GET", "/healthz")
+        assert response.status == 200
+
+    with_server(scenario, _config())
+
+
+def test_slow_loris_mid_headers_gets_408():
+    async def scenario(server, client):
+        reader, writer = await asyncio.open_connection(
+            server.config.host, server.port)
+        writer.write(b"GET /healthz HTTP/1.1\r\nHost: x\r\n")  # never finishes
+        await writer.drain()
+        status_line = await asyncio.wait_for(reader.readline(), 5)
+        assert status_line == b"HTTP/1.1 408 Request Timeout\r\n"
+        head = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), 5)
+        assert b"Connection: close" in head
+        writer.close()
+        assert _timeout_counts(server)["head"] == 1
+
+    with_server(scenario, _config())
+
+
+def test_stalled_body_gets_408():
+    async def scenario(server, client):
+        reader, writer = await asyncio.open_connection(
+            server.config.host, server.port)
+        writer.write(b"PUT /files HTTP/1.1\r\nHost: x\r\n"
+                     b"Content-Length: 4096\r\n\r\n")
+        writer.write(b"a few bytes then silence")
+        await writer.drain()
+        status_line = await asyncio.wait_for(reader.readline(), 5)
+        assert status_line == b"HTTP/1.1 408 Request Timeout\r\n"
+        writer.close()
+        assert _timeout_counts(server)["body"] == 1
+
+    with_server(scenario, _config())
+
+
+def test_fast_clients_never_time_out(small_jpeg):
+    async def scenario(server, client):
+        put = await client.put_file(small_jpeg)
+        assert put.status == 201
+        got = await client.get_file(put.json()["id"])
+        assert got.status == 200 and got.body == small_jpeg
+        counts = _timeout_counts(server)
+        assert all(value == 0 for value in counts.values())
+
+    with_server(scenario, _config())
+
+
+def test_no_timeout_configured_keeps_connections_open():
+    async def scenario(server, client):
+        reader, writer = await asyncio.open_connection(
+            server.config.host, server.port)
+        # Well past the other suite's timeout: nothing reaps us.
+        await asyncio.sleep(TIMEOUT * 3)
+        writer.write(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        await writer.drain()
+        status_line = await asyncio.wait_for(reader.readline(), 5)
+        assert status_line == b"HTTP/1.1 200 OK\r\n"
+        writer.close()
+
+    with_server(scenario, ServeConfig(chunk_size=4096))
