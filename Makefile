@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint lint-json lint-changed lint-bench lint-tests chaos durability serve serve-tests serve-smoke
+.PHONY: test lint lint-json lint-changed lint-bench lint-tests chaos durability serve serve-tests serve-smoke live-chaos live-chaos-full
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -56,3 +56,14 @@ serve-tests:
 
 serve-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.serve.smoke
+
+# The live kill-and-recover drill (docs/serve.md): boots real `lepton
+# serve` subprocesses, SIGKILLs them at armed kill points mid-upload and
+# mid-stream, and proves recovery + resume.  `live-chaos` runs the
+# reduced one-point-per-partition sweep; the full 17-point sweep is
+# `lepton chaos --live`.
+live-chaos:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m live_chaos
+
+live-chaos-full:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli chaos --live

@@ -111,3 +111,24 @@ def test_backend_durability(benchmark):
     assert report.wrong_bytes == 0
     assert report.scrub_repaired > 0       # scrubber healed round one
     assert report.read_repairs > 0         # reads healed round two in-band
+
+
+def test_live_kill_recover_drill(benchmark):
+    """The deployment-level sibling (docs/serve.md, "Request lifecycle"):
+    real ``lepton serve`` subprocesses SIGKILLed at one kill point per
+    protocol partition, restarted, and made to serve every acked byte.
+
+    The committed artifact is the drill's byte-reproducible report: no
+    timings, ports, or paths, so a regression shows up as a one-word
+    diff in the affected kill point's outcome.
+    """
+    from repro.faults.livechaos import REDUCED_SWEEP, run_live_chaos
+
+    def run():
+        return run_live_chaos(points=REDUCED_SWEEP, seed=0)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("chaos_live", report.render())
+    assert report.survivable
+    assert report.uploads_resumed == report.uploads_interrupted > 0
+    assert report.reads_interrupted > 0

@@ -169,9 +169,21 @@ def _chaos(args) -> int:
     pair twice must print byte-identical output (tested).  ``--backend``
     switches to the durability drill (docs/durability.md): the crash-
     recovery kill-point sweep plus the replicated scrub/repair exercise.
+    ``--live`` goes further: it SIGKILLs *real* server subprocesses at
+    every kill point and proves recovery over the wire (docs/serve.md);
+    exit 0 iff the full sweep is survivable.
     """
     from repro.faults.chaos import run_backend_chaos, run_chaos
     from repro.faults.plan import FaultPlan
+
+    if args.live:
+        from repro.faults.livechaos import run_live_chaos
+
+        live = run_live_chaos(seed=args.seed)
+        print(live.to_json() if args.as_json else live.render(), end="")
+        # Survivable = killed everywhere, lost nothing acked, served no
+        # wrong byte, resumed every interrupted upload, bounded downtime.
+        return 0 if live.survivable else 1
 
     plan = None
     if args.plan is not None:
@@ -206,6 +218,7 @@ def _serve(args, config: LeptonConfig) -> int:
     import asyncio
     import signal
 
+    from repro.faults.killpoints import kill_points_from_env
     from repro.faults.plan import FaultPlan
     from repro.serve.app import ServeConfig, run_server
 
@@ -228,7 +241,12 @@ def _serve(args, config: LeptonConfig) -> int:
         replicas=args.replicas,
         scrub_interval=args.scrub_interval,
         idle_timeout=args.idle_timeout,
+        # Armed only under the live chaos harness (LEPTON_KILL_POINT):
+        # reaching the named protocol step SIGKILLs this process.
+        kill=kill_points_from_env(),
     )
+    if args.chunk_size is not None:
+        serve_config.chunk_size = args.chunk_size
 
     async def _run() -> None:
         stop = asyncio.Event()
@@ -378,6 +396,10 @@ def main(argv=None) -> int:
                              "durability drill (kill-point crash sweep + "
                              "replicated scrub/repair) instead of the "
                              "fleet replay")
+    parser.add_argument("--live", action="store_true",
+                        help="for chaos: SIGKILL real server subprocesses "
+                             "at every kill point and prove recovery over "
+                             "the wire (docs/serve.md)")
     parser.add_argument("--replicas", type=int, default=3,
                         help="for chaos --backend / serve --data-dir: "
                              "storage replica count")
@@ -409,6 +431,11 @@ def main(argv=None) -> int:
     parser.add_argument("--idle-timeout", type=float, default=None,
                         help="for serve: per-connection read timeout in "
                              "seconds (slow-loris guard; default: none)")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="for serve: storage chunk size in bytes "
+                             "(default: the production 4 MiB; the live "
+                             "chaos harness shrinks it so streamed reads "
+                             "span chunks)")
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] in NO_INPUT_COMMANDS and (len(argv) == 1
                                                   or argv[1].startswith("-")):

@@ -63,16 +63,22 @@ def compress_chunked(
     data: bytes,
     chunk_size: int = CHUNK_SIZE,
     config: Optional[LeptonConfig] = None,
+    deadline: Optional[float] = None,
 ) -> List[StoredChunk]:
     """Split ``data`` into chunks and compress each independently.
 
     JPEG files get Lepton chunks (each independently decodable); anything
     Lepton rejects is stored as per-chunk Deflate, mirroring production.
+    ``deadline`` (a monotonic timestamp) propagates into the segment
+    coder, which raises :class:`~repro.core.errors.TimeoutExceeded`
+    between segments once it passes — the serve path's end-to-end
+    deadline reaching actual codec work.
     """
     config = config or LeptonConfig()
     ranges = chunk_ranges(len(data), chunk_size)
     try:
-        chunks = _compress_jpeg_chunked(data, ranges, config)
+        chunks = _compress_jpeg_chunked(data, ranges, config,
+                                        deadline=deadline)
     except (JpegError, RoundtripMismatch):
         chunks = None
     if chunks is None:
@@ -83,7 +89,8 @@ def compress_chunked(
     return chunks
 
 
-def _compress_jpeg_chunked(data, ranges, config) -> Optional[List[StoredChunk]]:
+def _compress_jpeg_chunked(data, ranges, config,
+                           deadline=None) -> Optional[List[StoredChunk]]:
     img = parse_jpeg(data, max_components=4 if config.allow_cmyk else 3)
     decode_scan(img)
     positions = verify_and_index(img)
@@ -127,7 +134,7 @@ def _compress_jpeg_chunked(data, ranges, config) -> Optional[List[StoredChunk]]:
             seg_ranges = plan_segments_range(m_a, m_b, img.frame.mcus_x, threads)
             # The one segment-coding loop (session.py); D6 forbids a fork here.
             segments = code_segment_records(
-                img, seg_ranges, positions, config.model
+                img, seg_ranges, positions, config.model, deadline=deadline
             )
 
         lepton = LeptonFile(

@@ -377,6 +377,7 @@ def decompress_chunks(
     chunks,
     model_config: Optional[ModelConfig] = None,
     parallel: bool = False,
+    deadline: Optional[float] = None,
 ) -> Iterator[bytes]:
     """Streaming decompression from an *iterator* of stored-payload chunks.
 
@@ -385,7 +386,9 @@ def decompress_chunks(
     :class:`~repro.core.session.DecodeSession` (output begins before the
     final input chunk is consumed), and anything else inflates
     incrementally as Deflate.  Garbage, truncated, and empty payloads all
-    raise :class:`FormatError`.
+    raise :class:`FormatError`.  ``deadline`` (a monotonic timestamp) is
+    handed to the decode session, which cancels between row bands with
+    :class:`~repro.core.errors.TimeoutExceeded` once it passes.
     """
     source = iter(chunks)
     head = b""
@@ -395,7 +398,8 @@ def decompress_chunks(
         except StopIteration:
             break
     if head[:2] == lformat.MAGIC:
-        session = DecodeSession(model_config=model_config, parallel=parallel)
+        session = DecodeSession(model_config=model_config, parallel=parallel,
+                                deadline=deadline)
         yield from session.write(head)
         for chunk in source:
             yield from session.write(bytes(chunk))

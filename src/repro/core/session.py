@@ -314,10 +314,12 @@ class DecodeSession:
         model_config: Optional[ModelConfig] = None,
         parallel: bool = False,
         window_rows: Optional[int] = None,
+        deadline: Optional[float] = None,
     ):
         self._model_config = model_config or ModelConfig()
         self._parallel = parallel
         self._window_rows = window_rows
+        self._deadline = deadline
         self._reader = ContainerReader()
         self._lepton: Optional[LeptonFile] = None
         self._img: Optional[JpegImage] = None
@@ -493,6 +495,12 @@ class DecodeSession:
             windows[ci].release_below(start_row * factor)
         mcu = seg.mcu_start
         while mcu < seg.mcu_end:
+            # Cooperative cancellation (§5.6 tail latency): an exceeded
+            # deadline stops the decode between row bands rather than
+            # finishing work nobody is waiting for.
+            if (self._deadline is not None
+                    and time.monotonic() > self._deadline):  # lint: disable=D2
+                raise TimeoutExceeded("decode exceeded its deadline")
             row_end = min(((mcu // frame.mcus_x) + 1) * frame.mcus_x, seg.mcu_end)
             with trace_span("lepton.session.decode.step", segment=index) as rec:
                 codec.decode(bool_dec, mcu, row_end, seg_start=seg.mcu_start)

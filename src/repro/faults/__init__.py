@@ -13,7 +13,16 @@ from repro.faults.injector import (
     corrupt_at_rest,
     corrupt_backend_at_rest,
 )
-from repro.faults.killpoints import KILL_POINTS, KillPointError, KillPoints
+from repro.faults.killpoints import (
+    KILL_POINTS,
+    PUT_KILL_POINTS,
+    READ_KILL_POINTS,
+    UPLOAD_KILL_POINTS,
+    KillPointError,
+    KillPoints,
+    ProcessKillPoints,
+    kill_points_from_env,
+)
 from repro.faults.plan import (
     CrashFault,
     FaultPlan,
@@ -32,9 +41,14 @@ __all__ = [
     "KillPointError",
     "KillPoints",
     "NetworkFault",
+    "PUT_KILL_POINTS",
+    "ProcessKillPoints",
+    "READ_KILL_POINTS",
     "ReadFaultInjector",
     "SlowFault",
     "StorageFaultConfig",
+    "UPLOAD_KILL_POINTS",
     "corrupt_at_rest",
     "corrupt_backend_at_rest",
+    "kill_points_from_env",
 ]

@@ -28,7 +28,7 @@ from repro.faults.injector import (
     corrupt_at_rest,
     corrupt_backend_at_rest,
 )
-from repro.faults.killpoints import KILL_POINTS, KillPointError, KillPoints
+from repro.faults.killpoints import PUT_KILL_POINTS, KillPointError, KillPoints
 from repro.faults.plan import FaultPlan, StorageFaultConfig
 from repro.faults.report import ChaosReport, DurabilityReport
 from repro.obs import MetricsRegistry
@@ -146,7 +146,13 @@ _DRILL_CHUNK = 1024
 
 
 def _kill_sweep() -> Dict[str, str]:
-    """Crash a scripted workload at every registered kill point.
+    """Crash a scripted put workload at every put-protocol kill point.
+
+    Sweeps :data:`PUT_KILL_POINTS` — the one-shot durable put protocol
+    this workload can actually reach.  The upload-session and streamed-
+    read partitions have their own sweeps: an in-process one in
+    ``tests/storage/test_upload_recovery.py`` and the live subprocess
+    sweep in :mod:`repro.faults.livechaos` (``lepton chaos --live``).
 
     For each point: put file A (survives), arm the point, put file B (the
     crash), then recover into a fresh store and judge the wreckage — A
@@ -158,7 +164,7 @@ def _kill_sweep() -> Dict[str, str]:
     file_a = corpus_jpeg(seed=21, height=64, width=64)
     file_b = corpus_jpeg(seed=22, height=64, width=96)
     outcomes: Dict[str, str] = {}
-    for point in KILL_POINTS:
+    for point in PUT_KILL_POINTS:
         root = tempfile.mkdtemp(prefix="lepton-durability-")
         try:
             kill = KillPoints()

@@ -125,6 +125,109 @@ class ChaosReport:
 
 
 @dataclass
+class LiveChaosReport:
+    """Outcome of one ``lepton chaos --live`` run: the kill-and-recover
+    sweep against real server subprocesses (docs/serve.md).
+
+    Each kill point maps to a single outcome word; ``"survived"`` means
+    the armed server was really SIGKILLed there, restarted, and then
+    served every previously-acknowledged byte unchanged and drove every
+    interrupted upload to completion.  Byte-reproducible for a given
+    seed: wall-clock measurements are folded into the booleans
+    (``downtime_bounded``, ``retries_bounded``) before rendering — no
+    timings, ports, or paths appear in the output.
+    """
+
+    seed: int
+    file_bytes: int          # size of the streamed-read victim file
+    upload_bytes: int        # size of the interrupted resumable upload
+    part_size: int
+    downtime_bound: float    # seconds allowed from SIGKILL to ready
+    #: kill point → "survived", or the first failure observed there:
+    #: "not_killed" (the armed point never fired), "recovery_failed",
+    #: "lost_acked_bytes", "wrong_bytes", "resume_failed",
+    #: "downtime_exceeded".
+    points: Dict[str, str] = field(default_factory=dict)
+    wrong_bytes: int = 0
+    lost_acked_bytes: int = 0
+    reads_interrupted: int = 0
+    uploads_interrupted: int = 0
+    uploads_resumed: int = 0
+    downtime_bounded: bool = True
+    retries_bounded: bool = True
+
+    @property
+    def survivable(self) -> bool:
+        """The exit-0 verdict: every point swept and survived."""
+        return (
+            bool(self.points)
+            and all(v == "survived" for v in self.points.values())
+            and self.wrong_bytes == 0
+            and self.lost_acked_bytes == 0
+            and self.uploads_resumed == self.uploads_interrupted
+            and self.downtime_bounded
+            and self.retries_bounded
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "workload": {
+                "file_bytes": self.file_bytes,
+                "upload_bytes": self.upload_bytes,
+                "part_size": self.part_size,
+                "downtime_bound": f"{self.downtime_bound:.1f}",
+            },
+            "kill_points": dict(sorted(self.points.items())),
+            "outcome": {
+                "wrong_bytes": self.wrong_bytes,
+                "lost_acked_bytes": self.lost_acked_bytes,
+                "reads_interrupted": self.reads_interrupted,
+                "uploads_interrupted": self.uploads_interrupted,
+                "uploads_resumed": self.uploads_resumed,
+                "downtime_bounded": self.downtime_bounded,
+                "retries_bounded": self.retries_bounded,
+            },
+            "survivable": self.survivable,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-readable report (still byte-deterministic)."""
+        lines = [
+            "live chaos report",
+            "=================",
+            f"seed: {self.seed}",
+            f"workload: file={self.file_bytes}B"
+            f" upload={self.upload_bytes}B"
+            f" parts={self.part_size}B"
+            f" downtime_bound={self.downtime_bound:.1f}s",
+            "",
+            "kill-and-recover sweep",
+            "----------------------",
+        ]
+        for point, outcome in sorted(self.points.items()):
+            lines.append(f"  {point}: {outcome}")
+        lines += [
+            "",
+            "outcome",
+            "-------",
+            f"  wrong bytes:         {self.wrong_bytes}",
+            f"  lost acked bytes:    {self.lost_acked_bytes}",
+            f"  reads interrupted:   {self.reads_interrupted}",
+            f"  uploads interrupted: {self.uploads_interrupted}",
+            f"  uploads resumed:     {self.uploads_resumed}",
+            f"  downtime bounded:    {self.downtime_bounded}",
+            f"  retries bounded:     {self.retries_bounded}",
+            "",
+            f"survivable: {self.survivable}",
+        ]
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
 class DurabilityReport:
     """Outcome of one ``lepton chaos --backend`` run: the crash-recovery
     kill-point sweep plus the replicated scrub/repair drill.

@@ -29,12 +29,21 @@ CODED_PATH = (
 
 #: Modules that must be replayable: the codec, corpus generation (explicit
 #: seeds only), the storage simulations (SimClock only, §5.5), and fault
-#: injection — a chaos run that cannot replay cannot be debugged.
+#: injection — a chaos run that cannot replay cannot be debugged.  The
+#: faults package is listed module by module: ``repro.faults.livechaos``
+#: is deliberately absent — it boots real server subprocesses and times
+#: real recoveries, so it legitimately reads wall clocks (the same
+#: carve-out as ``repro.serve`` and ``repro.cli``).  Its *report* stays
+#: deterministic and stays in scope via ``repro.faults.report``.
 DETERMINISTIC = (
     "repro.core.*",
     "repro.corpus.*",
     "repro.storage.*",
-    "repro.faults.*",
+    "repro.faults.chaos",
+    "repro.faults.injector",
+    "repro.faults.killpoints",
+    "repro.faults.plan",
+    "repro.faults.report",
 )
 
 DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
@@ -51,6 +60,7 @@ DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
         "repro.storage.backends",
         "repro.storage.journal",
         "repro.storage.scrub",
+        "repro.storage.uploads",
         "repro.faults.*",
         "repro.serve.*",
         "repro.lint.*",
@@ -80,6 +90,7 @@ DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
         "repro.storage.backends",
         "repro.storage.journal",
         "repro.storage.scrub",
+        "repro.storage.uploads",
         "repro.faults.*",
         "repro.serve.*",
         "repro.lint.*",

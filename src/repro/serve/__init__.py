@@ -4,21 +4,31 @@ See ``docs/serve.md`` for the API contract (endpoints, status codes,
 metrics) — it is enforced both ways by ``tests/test_docs.py``.
 """
 
-from repro.serve.admission import AdmissionGate, Saturated
+from repro.serve.admission import AdmissionGate, AdmitTimeout, Saturated
 from repro.serve.app import (
+    DEADLINE_HEADER,
     DEFAULT_TENANT,
     ENDPOINTS,
     TENANT_HEADER,
+    UPLOAD_LENGTH_HEADER,
+    UPLOAD_OFFSET_HEADER,
     LeptonServer,
     ServeConfig,
     run_server,
 )
-from repro.serve.client import Response, ServeClient
+from repro.serve.client import (
+    Response,
+    RetriesExhausted,
+    ServeClient,
+    UploadIncomplete,
+)
 from repro.serve.faults import LiveFaultInjector
 from repro.serve.http import MAX_HEAD_BYTES, STATUS_REASONS, HttpError
 
 __all__ = [
     "AdmissionGate",
+    "AdmitTimeout",
+    "DEADLINE_HEADER",
     "DEFAULT_TENANT",
     "ENDPOINTS",
     "HttpError",
@@ -26,10 +36,14 @@ __all__ = [
     "LiveFaultInjector",
     "MAX_HEAD_BYTES",
     "Response",
+    "RetriesExhausted",
     "STATUS_REASONS",
     "Saturated",
     "ServeClient",
     "ServeConfig",
     "TENANT_HEADER",
+    "UPLOAD_LENGTH_HEADER",
+    "UPLOAD_OFFSET_HEADER",
+    "UploadIncomplete",
     "run_server",
 ]

@@ -30,6 +30,12 @@ class Saturated(Exception):
         self.waiting = waiting
 
 
+class AdmitTimeout(Exception):
+    """The request's deadline expired while it was still queued; the
+    caller maps this to 504 — the work never started, so nothing needs
+    cancelling."""
+
+
 class AdmissionGate:
     """Bounded concurrency + bounded wait queue over an asyncio semaphore.
 
@@ -70,18 +76,42 @@ class AdmissionGate:
         self.release()
         return False
 
-    async def admit(self) -> None:
-        """Wait for a slot, or raise :class:`Saturated` if the queue is full."""
+    async def admit(self, timeout: Optional[float] = None) -> None:
+        """Wait for a slot, or raise :class:`Saturated` if the queue is full.
+
+        ``timeout`` bounds the queued wait (the request's remaining
+        deadline budget): expiry raises :class:`AdmitTimeout` and the
+        queue slot is surrendered — exactly once, even when the waiter
+        is concurrently cancelled by a client disconnect.
+        """
         if self._semaphore.locked() and self._waiting >= self.queue_depth:
             self.registry.counter("serve.admission.rejected").inc()
             raise Saturated(self._inflight, self._waiting)
         self._waiting += 1
         self.registry.gauge("serve.admission.queue_depth").set(self._waiting)
+        acquired = False
         try:
-            await self._semaphore.acquire()
+            if timeout is None:
+                await self._semaphore.acquire()
+            else:
+                try:
+                    # wait_for() wraps the acquire in a cancellable task:
+                    # the loop is never blocked.
+                    await asyncio.wait_for(
+                        self._semaphore.acquire(),  # lint: disable=D7
+                        timeout)
+                except asyncio.TimeoutError:
+                    raise AdmitTimeout() from None
+            acquired = True
         finally:
             self._waiting -= 1
             self.registry.gauge("serve.admission.queue_depth").set(self._waiting)
+            # A waiter that leaves without a slot (timeout / client
+            # disconnect) may have been the last thing a drain was
+            # waiting on; only the *failure* path may declare idleness
+            # here — on success the request is about to be in flight.
+            if not acquired and self._inflight == 0 and self._waiting == 0:
+                self._idle.set()
         self._inflight += 1
         self._idle.clear()
         self.registry.gauge("serve.inflight").set(self._inflight)
@@ -89,9 +119,13 @@ class AdmissionGate:
     def release(self) -> None:
         self._inflight -= 1
         self.registry.gauge("serve.inflight").set(self._inflight)
-        if self._inflight == 0:
-            self._idle.set()
         self._semaphore.release()
+        # Idle means *nothing left to finish*: zero in flight AND zero
+        # queued.  Setting it with waiters still queued would let a drain
+        # close the listeners mid-handoff and cut the queued request's
+        # (already admitted, soon-streaming) response — the drain race.
+        if self._inflight == 0 and self._waiting == 0:
+            self._idle.set()
 
     async def drained(self, timeout: Optional[float] = None) -> bool:
         """Wait until nothing is in flight; False if ``timeout`` expired."""

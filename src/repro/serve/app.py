@@ -2,11 +2,13 @@
 
 Everything below PR 3's streaming substrate already existed — compression
 sessions, the verified chunk store, degraded reads, quotas.  This module
-is the network skin over it: five endpoints (`ENDPOINTS`), a closed set of
+is the network skin over it: the endpoints in `ENDPOINTS`, a closed set of
 status codes (:data:`~repro.serve.http.STATUS_REASONS`), admission
-control at the door, §5.7's shutoff switch and graceful drain, and live
-fault injection from a PR-4 plan.  The full API contract lives in
-``docs/serve.md`` and is enforced both ways by ``tests/test_docs.py``.
+control at the door, §5.7's shutoff switch and graceful drain, live
+fault injection from a PR-4 plan, resumable journal-backed uploads,
+end-to-end request deadlines, and per-endpoint circuit breakers.  The
+full API contract lives in ``docs/serve.md`` and is enforced both ways
+by ``tests/test_docs.py``.
 
 Design notes:
 
@@ -25,14 +27,18 @@ Design notes:
 
 import asyncio
 import hashlib
+import math
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Optional, Set, Tuple
 
+from repro.core.errors import TimeoutExceeded
 from repro.core.lepton import FORMAT_LEPTON, LeptonConfig
+from repro.faults.killpoints import KillPoints
 from repro.faults.plan import FaultPlan
 from repro.obs import MetricsRegistry, get_registry
-from repro.serve.admission import AdmissionGate, Saturated
+from repro.serve.admission import AdmissionGate, AdmitTimeout, Saturated
 from repro.serve.faults import LiveFaultInjector
 from repro.serve.http import (
     HttpError,
@@ -48,10 +54,17 @@ from repro.storage.blockstore import (
     IntegrityError,
     open_durable_store,
 )
+from repro.storage.journal import Journal
 from repro.storage.quotas import QuotaBoard, QuotaExceeded
-from repro.storage.retry import RetryPolicy
+from repro.storage.retry import BreakerBoard, CircuitBreaker, RetryPolicy
 from repro.storage.safety import ShutoffSwitch
 from repro.storage.scrub import Scrubber
+from repro.storage.uploads import (
+    OffsetConflict,
+    UnknownUpload,
+    UploadError,
+    UploadLedger,
+)
 
 #: The documented API surface: every (method, route) the server answers.
 #: ``tests/test_docs.py`` diffs this against the docs/serve.md endpoint
@@ -59,14 +72,35 @@ from repro.storage.scrub import Scrubber
 ENDPOINTS: Tuple[Tuple[str, str], ...] = (
     ("PUT", "/files"),
     ("GET", "/files/{id}"),
+    ("POST", "/uploads"),
+    ("PUT", "/uploads/{id}"),
+    ("HEAD", "/uploads/{id}"),
     ("GET", "/healthz"),
     ("GET", "/metrics"),
     ("GET", "/tenants"),
 )
 
+#: Routes behind the per-endpoint circuit breakers (the data plane; the
+#: monitoring plane must stay reachable while breakers are open).
+BREAKER_ROUTES: Tuple[str, ...] = (
+    "/files", "/files/{id}", "/uploads", "/uploads/{id}",
+)
+
 #: Header naming the tenant a request is accounted to.
 TENANT_HEADER = "x-lepton-tenant"
 DEFAULT_TENANT = "default"
+#: Remaining request budget in seconds (float): the end-to-end deadline.
+#: Parsed once at dispatch into a monotonic deadline that propagates
+#: through admission, executor codec work, and storage reads.
+DEADLINE_HEADER = "x-lepton-deadline"
+#: Total logical bytes a resumable upload will carry (POST /uploads).
+UPLOAD_LENGTH_HEADER = "x-lepton-upload-length"
+#: Byte offset a part append targets / the durable progress in responses.
+UPLOAD_OFFSET_HEADER = "x-lepton-upload-offset"
+#: Session state in upload responses: ``open`` or ``completed``.
+UPLOAD_STATE_HEADER = "x-lepton-upload-state"
+#: File id of a completed upload (HEAD responses after finalize).
+UPLOAD_FILE_HEADER = "x-lepton-file"
 
 _READ_PIECE = 64 * 1024
 
@@ -107,6 +141,27 @@ class ServeConfig:
     #: Per-connection read timeout (seconds) covering the idle wait, each
     #: header line, and each body read; ``None`` disables it.
     idle_timeout: Optional[float] = None
+    # -- request-lifecycle robustness (docs/serve.md) --------------------
+    #: Consecutive 5xx-class failures that open an endpoint's breaker.
+    breaker_threshold: int = 5
+    #: Seconds an open endpoint breaker refuses traffic before its
+    #: half-open probe; also the source of its ``Retry-After``.
+    breaker_reset: float = 5.0
+    #: Crash-injection harness for the live chaos drill.  Attached to the
+    #: store and ledgers only *after* startup recovery completes, so an
+    #: armed point can never fire while the previous crash is being
+    #: repaired (recovery-before-listen must terminate).
+    kill: Optional[KillPoints] = None
+
+
+class _MonotonicClock:
+    """Adapter giving :class:`~repro.storage.retry.BreakerBoard` the wall
+    it expects (an object with ``.now``).  The serve path is outside the
+    deterministic scope — breaker timing here is real elapsed time."""
+
+    @property
+    def now(self) -> float:
+        return time.monotonic()
 
 
 class LeptonServer:
@@ -124,12 +179,22 @@ class LeptonServer:
             if self.config.fault_plan is not None else None
         )
         self.store = self._build_store()
+        self.uploads = self._build_uploads()
+        self._attach_kill()
         self.scrubber = (Scrubber(self.store, registry=self.registry)
                          if self.store.durable else None)
         self._scrub_task: Optional[asyncio.Task] = None
         self.shutoff = ShutoffSwitch(directory=self.config.shutoff_dir)
         self.gate = AdmissionGate(self.config.max_inflight,
                                   self.config.queue_depth, self.registry)
+        self.breakers = BreakerBoard(
+            _MonotonicClock(),
+            template=CircuitBreaker(
+                failure_threshold=self.config.breaker_threshold,
+                reset_timeout=self.config.breaker_reset,
+            ),
+            registry=self.registry,
+        )
         self.draining = False
         self.port: Optional[int] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -153,7 +218,10 @@ class LeptonServer:
             )
         # Crash recovery (journal replay, rollback, index rebuild) runs
         # here, before the socket opens: a request can never observe a
-        # half-recovered store.
+        # half-recovered store.  The kill harness is deliberately NOT
+        # passed in: recovery itself reaches kill points (checkpoint),
+        # and an armed point firing mid-recovery would wedge the
+        # crash-restart-recover cycle; see :meth:`_attach_kill`.
         return open_durable_store(
             self.config.data_dir,
             replicas=self.config.replicas,
@@ -164,6 +232,36 @@ class LeptonServer:
             read_retry=read_retry,
             read_fault=read_fault,
         )
+
+    def _build_uploads(self) -> UploadLedger:
+        """The resumable-upload ledger, journal-backed in durable mode.
+
+        Recovery (journal replay, orphan-blob pruning, quota
+        re-reservation) also runs here, before the socket opens —
+        ``HEAD /uploads/{id}`` must report durable truth from request #1.
+        """
+        if self.config.data_dir is None:
+            return UploadLedger(quotas=self.quotas)
+        ledger = UploadLedger(
+            backend=self.store.backend,
+            journal=Journal(os.path.join(str(self.config.data_dir),
+                                         "uploads.wal")),
+            quotas=self.quotas,
+        )
+        ledger.recover()
+        return ledger
+
+    def _attach_kill(self) -> None:
+        """Arm the crash harness — strictly after recovery completed."""
+        kill = self.config.kill
+        if kill is None:
+            return
+        self.store.kill = kill
+        if self.store.journal is not None:
+            self.store.journal.kill = kill
+        self.uploads.kill = kill
+        if self.uploads.journal is not None:
+            self.uploads.journal.kill = kill
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -237,6 +335,16 @@ class LeptonServer:
         registry.histogram("serve.drain.seconds")
         for stage in ("idle", "head", "body"):
             registry.counter("serve.timeouts", stage=stage)
+        for route in BREAKER_ROUTES:
+            registry.counter("serve.deadline_exceeded", route=route)
+            registry.counter("serve.breaker.rejected", route=route)
+        registry.counter("serve.uploads.created")
+        registry.counter("serve.uploads.parts")
+        registry.counter("serve.uploads.completed")
+        registry.counter("serve.uploads.conflicts")
+        registry.counter("serve.uploads.recovered").inc(
+            self.uploads.recovered_sessions)
+        registry.gauge("serve.uploads.open").set(self.uploads.open_sessions())
 
     # -- connection handling ----------------------------------------------
 
@@ -286,8 +394,12 @@ class LeptonServer:
         """Dispatch one request; returns whether to keep the connection."""
         started = time.monotonic()
         route = "*"
+        breaker_route = None
         try:
             route = self._route(request)
+            if route in BREAKER_ROUTES:
+                breaker_route = route
+                self._check_breaker(route)
             if self.injector is not None and route.startswith("/files"):
                 if self.injector.should_drop(self._now()):
                     return False  # severed: the plan's network-loss window
@@ -304,18 +416,46 @@ class LeptonServer:
                 await self._put_file(request, reader, writer)
             elif route == "/files/{id}":
                 await self._get_file(request, writer)
+            elif route == "/uploads":
+                await self._post_upload(request, reader, writer)
+            elif route == "/uploads/{id}":
+                if request.method == "HEAD":
+                    await self._head_upload(request, writer)
+                else:
+                    await self._put_upload(request, reader, writer)
             else:
                 raise HttpError(404, "not_found", f"no route for {request.path}")
+            if breaker_route is not None:
+                self.breakers.success(breaker_route)
         except HttpError as exc:
+            # 4xx/503 are the client's (or load's) fault, not the
+            # endpoint's: only a 500-class response may trip a breaker.
+            if breaker_route is not None and exc.status >= 500 \
+                    and exc.status not in (503, 504):
+                self.breakers.failure(breaker_route)
             await self._send_error(writer, request, route, exc)
+        except (TimeoutExceeded, AdmitTimeout) as exc:
+            # The end-to-end deadline expired — queued, mid-codec, or
+            # mid-storage-read.  Deadline misses are the *client's*
+            # budget, not endpoint health: breakers don't count them.
+            self.registry.counter("serve.deadline_exceeded",
+                                  route=route).inc()
+            await self._send_error(
+                writer, request, route,
+                HttpError(504, "deadline_exceeded",
+                          str(exc) or "request deadline exceeded"))
         except (ConnectionError, asyncio.IncompleteReadError):
             raise
         except IntegrityError as exc:
             # Verification failed mid-stream, after the head went out:
             # abort rather than complete a response with unverified bytes.
             self._count(request.method, route, "aborted")
+            if breaker_route is not None:
+                self.breakers.failure(breaker_route)
             raise ConnectionResetError(str(exc)) from exc
         except Exception as exc:
+            if breaker_route is not None:
+                self.breakers.failure(breaker_route)
             await self._send_error(
                 writer, request, route,
                 HttpError(500, "internal_error", f"{type(exc).__name__}: {exc}"),
@@ -326,6 +466,51 @@ class LeptonServer:
                 time.monotonic() - started
             )
         return request.keep_alive and not request.body_pending
+
+    def _check_breaker(self, route: str) -> None:
+        """Refuse a data-plane request whose endpoint breaker is open.
+
+        The 503 carries ``Retry-After`` computed from the breaker's
+        actual half-open time — the client backs off exactly as long as
+        the endpoint will refuse it, not a configured constant.
+        """
+        if self.breakers.allow(route):
+            return
+        self.registry.counter("serve.breaker.rejected", route=route).inc()
+        retry_after = max(1, math.ceil(self.breakers.retry_after(route)))
+        raise HttpError(
+            503, "breaker_open",
+            f"endpoint breaker open for {route}",
+            headers={"Retry-After": str(retry_after)},
+        )
+
+    def _deadline_of(self, request: Request) -> Optional[float]:
+        """Parse :data:`DEADLINE_HEADER` into a monotonic deadline.
+
+        The header carries the *remaining budget* in seconds (clients
+        cannot share a clock with the server); an unparseable value is a
+        400, a budget that is already spent short-circuits to 504 before
+        any work is admitted.
+        """
+        raw = request.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            budget = float(raw)
+        except ValueError:
+            raise HttpError(400, "bad_deadline",
+                            f"unparseable deadline budget {raw!r}") from None
+        if budget <= 0:
+            raise TimeoutExceeded(
+                f"deadline budget {budget!r}s already spent")
+        return time.monotonic() + budget
+
+    @staticmethod
+    def _remaining(deadline: Optional[float]) -> Optional[float]:
+        """Seconds left before ``deadline`` (None = unbounded)."""
+        if deadline is None:
+            return None
+        return max(0.0, deadline - time.monotonic())
 
     def _route(self, request: Request) -> str:
         """Map a request to its route pattern, enforcing allowed methods."""
@@ -349,6 +534,18 @@ class LeptonServer:
                                 f"{request.method} /files/{{id}}",
                                 headers={"Allow": "GET"})
             return "/files/{id}"
+        if path == "/uploads":
+            if request.method != "POST":
+                raise HttpError(405, "method_not_allowed",
+                                f"{request.method} /uploads",
+                                headers={"Allow": "POST"})
+            return "/uploads"
+        if path.startswith("/uploads/"):
+            if request.method not in ("PUT", "HEAD"):
+                raise HttpError(405, "method_not_allowed",
+                                f"{request.method} /uploads/{{id}}",
+                                headers={"Allow": "PUT, HEAD"})
+            return "/uploads/{id}"
         raise HttpError(404, "not_found", f"no route for {request.path}")
 
     # -- responses ---------------------------------------------------------
@@ -389,6 +586,10 @@ class LeptonServer:
         else:
             state, status = "ok", 200
         payload = {"status": state}
+        # Per-endpoint breaker truth: state, trip count, and the exact
+        # seconds until an open breaker admits its half-open probe.
+        payload["breakers"] = self.breakers.describe()
+        payload["uploads"] = self.uploads.describe()
         if self.store.durable:
             # Backend description walks the filesystem (key counts):
             # blocking I/O, so it runs on the executor like the codec.
@@ -421,13 +622,18 @@ class LeptonServer:
         if self.shutoff.engaged:
             # §5.7: the kill file disables *encoding*; reads stay up.
             raise HttpError(503, "shutoff", "encoding disabled by shutoff switch")
+        deadline = self._deadline_of(request)
         try:
-            async with self.gate:
-                await self._put_file_admitted(request, reader, writer)
+            await self.gate.admit(timeout=self._remaining(deadline))
         except Saturated as exc:
             raise HttpError(503, "saturated", str(exc)) from exc
+        try:
+            await self._put_file_admitted(request, reader, writer, deadline)
+        finally:
+            self.gate.release()
 
-    async def _put_file_admitted(self, request, reader, writer) -> None:
+    async def _put_file_admitted(self, request, reader, writer,
+                                 deadline=None) -> None:
         length = request.content_length
         if length is None:
             raise HttpError(411, "length_required",
@@ -457,9 +663,13 @@ class LeptonServer:
         try:
             # Chunk + compress + verify off the event loop: the gate, not
             # the codec, decides what the next connection experiences.
+            # The deadline rides along: an expired budget cancels the
+            # segment coder between row bands (504), instead of finishing
+            # a compression nobody is waiting for.
             record = await loop.run_in_executor(
                 None, lambda: self.store.put_file(
-                    file_id, data, tenant=tenant, reserved=length))
+                    file_id, data, tenant=tenant, reserved=length,
+                    deadline=deadline))
         except QuotaExceeded as exc:  # pragma: no cover - reserve covered it
             self.registry.counter("serve.quota.rejected").inc()
             raise HttpError(413, "quota_exceeded", str(exc)) from exc
@@ -467,6 +677,13 @@ class LeptonServer:
             self.injector.corrupt_after_put(self.store)
         if not existed:
             self.registry.counter("serve.files.stored").inc()
+        body, headers = self._file_response(file_id, record, tenant)
+        await self._send(writer, request, "/files",
+                         200 if existed else 201, body, headers)
+
+    def _file_response(self, file_id: str, record, tenant: str):
+        """The stored-file JSON surface shared by ``PUT /files`` and a
+        finalizing ``PUT /uploads/{id}``."""
         stored = self.store.stored_bytes_for(record)
         formats = {self.store.entries[key].chunk.format
                    for key in record.chunk_keys}
@@ -481,8 +698,7 @@ class LeptonServer:
             "tenant": tenant,
         })
         headers["Location"] = f"/files/{file_id}"
-        await self._send(writer, request, "/files",
-                         200 if existed else 201, body, headers)
+        return body, headers
 
     async def _read_body(self, reader, length: int) -> bytes:
         pieces = []
@@ -513,16 +729,185 @@ class LeptonServer:
             remaining -= len(piece)
         return b"".join(pieces)
 
+    # -- resumable uploads (docs/serve.md, "Request lifecycle") -----------
+
+    async def _post_upload(self, request, reader, writer) -> None:
+        if self.draining:
+            raise HttpError(503, "draining", "server is draining")
+        if self.shutoff.engaged:
+            raise HttpError(503, "shutoff",
+                            "encoding disabled by shutoff switch")
+        deadline = self._deadline_of(request)
+        raw = request.headers.get(UPLOAD_LENGTH_HEADER)
+        if raw is None:
+            raise HttpError(
+                411, "length_required",
+                f"POST /uploads requires {UPLOAD_LENGTH_HEADER}")
+        try:
+            declared = int(raw)
+        except ValueError:
+            raise HttpError(400, "bad_request",
+                            f"unparseable upload length {raw!r}") from None
+        if declared > self.config.max_file_bytes:
+            raise HttpError(413, "file_too_large",
+                            f"{declared} > {self.config.max_file_bytes} bytes")
+        if request.content_length:
+            await self._read_body(reader, request.content_length)
+            request.body_consumed = True
+        tenant = request.headers.get(TENANT_HEADER, DEFAULT_TENANT)
+        try:
+            await self.gate.admit(timeout=self._remaining(deadline))
+        except Saturated as exc:
+            raise HttpError(503, "saturated", str(exc)) from exc
+        loop = asyncio.get_running_loop()
+        try:
+            # Session create fsyncs a journal record: executor, not loop.
+            session = await loop.run_in_executor(
+                None, lambda: self.uploads.create(tenant, declared))
+        except QuotaExceeded as exc:
+            self.registry.counter("serve.quota.rejected").inc()
+            raise HttpError(413, "quota_exceeded", str(exc)) from exc
+        except UploadError as exc:
+            raise HttpError(400, "bad_request", str(exc)) from exc
+        finally:
+            self.gate.release()
+        self.registry.counter("serve.uploads.created").inc()
+        self.registry.gauge("serve.uploads.open").set(
+            self.uploads.open_sessions())
+        body, headers = json_body(session.describe())
+        headers["Location"] = f"/uploads/{session.upload_id}"
+        await self._send(writer, request, "/uploads", 201, body, headers)
+
+    def _upload_id_of(self, request) -> str:
+        return request.path.rstrip("/").rsplit("/", 1)[-1]
+
+    async def _head_upload(self, request, writer) -> None:
+        """Durable progress report.  Deliberately ungated: a client
+        deciding where to resume must get an answer even while the data
+        plane is saturated or draining."""
+        upload_id = self._upload_id_of(request)
+        try:
+            session = self.uploads.get(upload_id)
+        except UnknownUpload:
+            raise HttpError(404, "not_found",
+                            f"no upload {upload_id!r}") from None
+        headers = {
+            UPLOAD_OFFSET_HEADER: str(session.received),
+            UPLOAD_LENGTH_HEADER: str(session.declared),
+            UPLOAD_STATE_HEADER: session.state,
+        }
+        if session.file_id is not None:
+            headers[UPLOAD_FILE_HEADER] = session.file_id
+        await self._send(writer, request, "/uploads/{id}", 200, b"", headers)
+
+    async def _put_upload(self, request, reader, writer) -> None:
+        if self.draining:
+            raise HttpError(503, "draining", "server is draining")
+        if self.shutoff.engaged:
+            raise HttpError(503, "shutoff",
+                            "encoding disabled by shutoff switch")
+        deadline = self._deadline_of(request)
+        length = request.content_length
+        if length is None:
+            raise HttpError(411, "length_required",
+                            "PUT /uploads/{id} requires Content-Length")
+        raw = request.headers.get(UPLOAD_OFFSET_HEADER)
+        if raw is None:
+            raise HttpError(
+                400, "bad_request",
+                f"PUT /uploads/{{id}} requires {UPLOAD_OFFSET_HEADER}")
+        try:
+            offset = int(raw)
+        except ValueError:
+            raise HttpError(400, "bad_request",
+                            f"unparseable offset {raw!r}") from None
+        try:
+            await self.gate.admit(timeout=self._remaining(deadline))
+        except Saturated as exc:
+            raise HttpError(503, "saturated", str(exc)) from exc
+        try:
+            await self._put_upload_admitted(request, reader, writer,
+                                            offset, length, deadline)
+        finally:
+            self.gate.release()
+
+    async def _put_upload_admitted(self, request, reader, writer,
+                                   offset, length, deadline) -> None:
+        upload_id = self._upload_id_of(request)
+        # Read the body before judging the offset: answering 409 with
+        # unread bytes in the pipe would desync keep-alive framing, and
+        # resuming clients *expect* the occasional conflict.
+        data = await self._read_body(reader, length)
+        request.body_consumed = True
+        loop = asyncio.get_running_loop()
+        try:
+            # Part append = backend write + journal fsync: executor work.
+            session = await loop.run_in_executor(
+                None, lambda: self.uploads.append(upload_id, offset, data))
+        except UnknownUpload:
+            raise HttpError(404, "not_found",
+                            f"no upload {upload_id!r}") from None
+        except OffsetConflict as exc:
+            self.registry.counter("serve.uploads.conflicts").inc()
+            raise HttpError(
+                409, "offset_conflict", str(exc),
+                headers={UPLOAD_OFFSET_HEADER: str(exc.offset)},
+            ) from exc
+        except UploadError as exc:
+            raise HttpError(400, "bad_request", str(exc)) from exc
+        if data:
+            self.registry.counter("serve.bytes_in").inc(len(data))
+            self.registry.counter("serve.uploads.parts").inc()
+        if session.state == "open" and session.received == session.declared:
+            # Last byte (or an empty re-finalize PUT at the declared
+            # offset): promote through the ordinary durable put, under
+            # the reservation made at create.
+            try:
+                record = await loop.run_in_executor(
+                    None, lambda: self.uploads.finalize(
+                        upload_id, self.store, deadline=deadline))
+            except UploadError as exc:
+                raise HttpError(400, "bad_request", str(exc)) from exc
+            session = self.uploads.get(upload_id)
+            self.registry.counter("serve.uploads.completed").inc()
+            self.registry.counter("serve.files.stored").inc()
+            self.registry.gauge("serve.uploads.open").set(
+                self.uploads.open_sessions())
+            body, headers = self._file_response(session.file_id, record,
+                                                session.tenant)
+            headers[UPLOAD_STATE_HEADER] = "completed"
+            await self._send(writer, request, "/uploads/{id}", 201,
+                             body, headers)
+            return
+        if session.state == "completed":
+            # Idempotent re-finalize: the client lost the completion ack.
+            record = self.store.files[session.file_id]
+            body, headers = self._file_response(session.file_id, record,
+                                                session.tenant)
+            headers[UPLOAD_STATE_HEADER] = "completed"
+            await self._send(writer, request, "/uploads/{id}", 200,
+                             body, headers)
+            return
+        body, headers = json_body(session.describe())
+        headers[UPLOAD_OFFSET_HEADER] = str(session.received)
+        headers[UPLOAD_STATE_HEADER] = session.state
+        await self._send(writer, request, "/uploads/{id}", 200, body, headers)
+
     async def _get_file(self, request, writer) -> None:
         if self.draining:
             raise HttpError(503, "draining", "server is draining")
+        deadline = self._deadline_of(request)
         try:
-            async with self.gate:
-                await self._get_file_admitted(request, writer)
+            await self.gate.admit(timeout=self._remaining(deadline))
         except Saturated as exc:
             raise HttpError(503, "saturated", str(exc)) from exc
+        try:
+            await self._get_file_admitted(request, writer, deadline)
+        finally:
+            self.gate.release()
 
-    async def _get_file_admitted(self, request, writer) -> None:
+    async def _get_file_admitted(self, request, writer,
+                                 deadline=None) -> None:
         started = time.monotonic()
         file_id = request.path.rstrip("/").rsplit("/", 1)[-1]
         record = self.store.files.get(file_id)
@@ -539,18 +924,18 @@ class LeptonServer:
             start, stop = window
             status = 206
             headers["Content-Range"] = f"bytes {start}-{stop - 1}/{record.size}"
+        loop = asyncio.get_running_loop()
+        pieces = self.store.stream_range(file_id, start, stop,
+                                         deadline=deadline)
+        # Decode the first piece *before* committing to a response head:
+        # a deadline that expires during the first chunk's decode can
+        # still answer with a clean 504 instead of a severed stream.
+        piece = await loop.run_in_executor(None, next, pieces, _DONE)
         writer.write(render_head(status, headers,
                                  content_length=stop - start))
         first = True
         sent = 0
-        loop = asyncio.get_running_loop()
-        pieces = self.store.stream_range(file_id, start, stop)
-        while True:
-            # Each chunk decodes on the executor; the loop stays free and
-            # the first decoded piece still streams out ahead of the rest.
-            piece = await loop.run_in_executor(None, next, pieces, _DONE)
-            if piece is _DONE:
-                break
+        while piece is not _DONE:
             if first:
                 first = False
                 self.registry.histogram("serve.ttfb_seconds").observe(
@@ -559,6 +944,18 @@ class LeptonServer:
             writer.write(piece)
             sent += len(piece)
             await writer.drain()
+            try:
+                # Each chunk decodes on the executor; the loop stays free
+                # and decoded pieces stream out ahead of the rest.
+                piece = await loop.run_in_executor(None, next, pieces, _DONE)
+            except TimeoutExceeded as exc:
+                # Head and some bytes are already out: a mid-stream
+                # deadline abort must sever, never pad — the client sees
+                # a short read against Content-Length.
+                self.registry.counter("serve.deadline_exceeded",
+                                      route="/files/{id}").inc()
+                self._count(request.method, "/files/{id}", "aborted")
+                raise ConnectionResetError(str(exc)) from exc
         await writer.drain()
         self.registry.counter("serve.bytes_out").inc(sent)
         self._count(request.method, "/files/{id}", status)

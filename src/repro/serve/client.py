@@ -36,6 +36,15 @@ class Response:
         return json.loads(self.body.decode())
 
 
+class RetriesExhausted(ConnectionError):
+    """The retry budget ran out while the server kept answering 503."""
+
+
+class UploadIncomplete(ConnectionError):
+    """An upload could not be driven to completion within its resume
+    budget (the server stayed down, or kept conflicting)."""
+
+
 class ServeClient:
     """One keep-alive connection to a server; reconnects transparently.
 
@@ -47,6 +56,12 @@ class ServeClient:
     response head.  Non-idempotent methods keep only the single
     dead-keep-alive reconnect (replaying a PUT blindly could double
     apply).  Retries count under ``retry.attempts{scope=serve_client}``.
+
+    A ``503`` carrying ``Retry-After`` is obeyed *ahead of* the policy's
+    computed backoff: the server knows exactly how long its breaker or
+    drain will refuse traffic, so its number beats the client's guess.
+    The policy still bounds total attempts (and stays the fallback delay
+    when the header is absent).
     """
 
     def __init__(self, host: str, port: int,
@@ -88,19 +103,53 @@ class ServeClient:
                       headers: Optional[Dict[str, str]] = None) -> Response:
         """Issue one request; retries once on a dead kept-alive socket,
         and — with a :class:`RetryPolicy` attached — keeps retrying
-        idempotent methods through resets/refusals with backoff."""
+        idempotent methods through resets/refusals with backoff, and any
+        method through ``503`` + ``Retry-After`` (the server's own
+        back-off estimate; the policy's schedule is the fallback when
+        the header is missing and the bound on total attempts either way).
+        """
+        if self.retry is None:
+            return await self._request_once(method, target, body,
+                                            headers or {})
+        registry = get_registry()
+        policy = self.retry
+        started = time.monotonic()
+        attempt = 1
+        while True:
+            response = await self._request_once(method, target, body,
+                                                headers or {})
+            if response.status != 503:
+                return response
+            if not policy.should_retry(attempt,
+                                       time.monotonic() - started):
+                return response
+            header = response.headers.get("retry-after")
+            if header is not None:
+                try:
+                    delay = max(0.0, float(header))
+                except ValueError:
+                    delay = policy.backoff(attempt, rng=self._retry_rng)
+            else:
+                delay = policy.backoff(attempt, rng=self._retry_rng)
+            await asyncio.sleep(delay)
+            registry.counter("retry.attempts", scope="serve_client").inc()
+            attempt += 1
+
+    async def _request_once(self, method: str, target: str, body: bytes,
+                            headers: Dict[str, str]) -> Response:
+        """One wire exchange, with the connection-level retry ladder."""
         try:
             if self._writer is None:
                 await self._connect()
-            return await self._round_trip(method, target, body, headers or {})
+            return await self._round_trip(method, target, body, headers)
         except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
             await self.close()
             if (self.retry is not None
                     and method.upper() in IDEMPOTENT_METHODS):
                 return await self._retry_idempotent(method, target, body,
-                                                    headers or {}, exc)
+                                                    headers, exc)
             await self._connect()
-            return await self._round_trip(method, target, body, headers or {})
+            return await self._round_trip(method, target, body, headers)
 
     async def _retry_idempotent(self, method, target, body, headers,
                                 first_error: Exception) -> Response:
@@ -165,12 +214,102 @@ class ServeClient:
             await self.close()
         return response
 
-    async def put_file(self, data: bytes,
-                       tenant: Optional[str] = None) -> Response:
-        headers = {"x-lepton-tenant": tenant} if tenant else {}
+    async def put_file(self, data: bytes, tenant: Optional[str] = None,
+                       deadline: Optional[float] = None) -> Response:
+        headers = {}
+        if tenant:
+            headers["x-lepton-tenant"] = tenant
+        if deadline is not None:
+            headers["X-Lepton-Deadline"] = str(deadline)
         return await self.request("PUT", "/files", body=data, headers=headers)
 
     async def get_file(self, file_id: str,
-                       byte_range: Optional[str] = None) -> Response:
-        headers = {"Range": byte_range} if byte_range else {}
+                       byte_range: Optional[str] = None,
+                       deadline: Optional[float] = None) -> Response:
+        headers = {}
+        if byte_range:
+            headers["Range"] = byte_range
+        if deadline is not None:
+            headers["X-Lepton-Deadline"] = str(deadline)
         return await self.request("GET", f"/files/{file_id}", headers=headers)
+
+    # -- resumable uploads (docs/serve.md, "Request lifecycle") -----------
+
+    async def upload_file(self, data: bytes, tenant: Optional[str] = None,
+                          part_size: int = 64 * 1024,
+                          upload_id: Optional[str] = None,
+                          max_resumes: int = 8) -> Response:
+        """Upload ``data`` through the resumable-session protocol.
+
+        Creates a session (or adopts ``upload_id`` — e.g. one interrupted
+        in a previous process life), streams parts of ``part_size``, and
+        finalizes.  Any wire failure — reset mid-part, refused connection
+        while the server restarts — triggers a *resume*: reconnect, ask
+        ``HEAD /uploads/{id}`` for the durable offset, continue from
+        there.  At most ``max_resumes`` resumes are attempted before
+        :class:`UploadIncomplete` — the bounded-retries guarantee the
+        chaos drill asserts.  A ``409`` offset conflict self-heals from
+        the server's answer without costing a resume.
+
+        Returns the finalize response (``201``/``200`` with the stored
+        file's JSON) or the first non-retryable error response.
+        """
+        declared = len(data)
+        base = {"x-lepton-tenant": tenant} if tenant else {}
+        registry = get_registry()
+        resumes = 0
+        offset: Optional[int] = 0 if upload_id is None else None
+        while True:
+            try:
+                if upload_id is None:
+                    created = await self.request(
+                        "POST", "/uploads",
+                        headers={**base,
+                                 "X-Lepton-Upload-Length": str(declared)})
+                    if created.status != 201:
+                        return created
+                    upload_id = created.json()["upload"]
+                    offset = 0
+                if offset is None:
+                    # Resuming: the server's durable offset is the truth.
+                    head = await self.request("HEAD", f"/uploads/{upload_id}")
+                    if head.status != 200:
+                        return head
+                    offset = int(head.headers["x-lepton-upload-offset"])
+                while True:
+                    part = data[offset:offset + part_size]
+                    response = await self.request(
+                        "PUT", f"/uploads/{upload_id}", body=part,
+                        headers={**base,
+                                 "X-Lepton-Upload-Offset": str(offset)})
+                    if response.status == 409:
+                        offset = int(
+                            response.headers["x-lepton-upload-offset"])
+                        continue
+                    if response.status not in (200, 201):
+                        return response
+                    if (response.headers.get("x-lepton-upload-state")
+                            == "completed"):
+                        return response
+                    offset = int(response.headers.get(
+                        "x-lepton-upload-offset",
+                        str(min(offset + len(part), declared))))
+            except (ConnectionError, asyncio.IncompleteReadError,
+                    OSError) as exc:
+                resumes += 1
+                if resumes > max_resumes:
+                    raise UploadIncomplete(
+                        f"upload {upload_id or '<uncreated>'} still "
+                        f"incomplete after {max_resumes} resumes"
+                    ) from exc
+                registry.counter("retry.attempts",
+                                 scope="serve_upload").inc()
+                await self.close()
+                await asyncio.sleep(self._resume_delay(resumes))
+                if upload_id is not None:
+                    offset = None  # re-probe durable progress via HEAD
+
+    def _resume_delay(self, resumes: int) -> float:
+        if self.retry is not None:
+            return self.retry.backoff(resumes, rng=self._retry_rng)
+        return min(0.05 * resumes, 1.0)

@@ -26,11 +26,13 @@ STATUS_REASONS: Dict[int, str] = {
     404: "Not Found",
     405: "Method Not Allowed",
     408: "Request Timeout",
+    409: "Conflict",
     411: "Length Required",
     413: "Payload Too Large",
     416: "Range Not Satisfiable",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.chunks import StoredChunk, compress_chunked, decompress_chunk
-from repro.core.errors import LeptonError
+from repro.core.errors import LeptonError, TimeoutExceeded
 from repro.core.lepton import FORMAT_LEPTON, LeptonConfig, decompress_chunks
 from repro.faults.killpoints import KillPoints
 from repro.obs import get_registry
@@ -124,7 +124,8 @@ class BlockStore:
             self.kill.reach(name)
 
     def put_file(self, name: str, data: bytes, tenant: str = "default",
-                 reserved: int = 0) -> FileRecord:
+                 reserved: int = 0,
+                 deadline: Optional[float] = None) -> FileRecord:
         """Chunk, compress, verify, and admit a file.
 
         With a :class:`~repro.storage.quotas.QuotaBoard` attached, the
@@ -135,6 +136,10 @@ class BlockStore:
         front-end reserves from the declared ``Content-Length`` before
         reading the body, then hands the reservation over here.  Re-putting
         an existing ``name`` replaces the record without charging again.
+        ``deadline`` (monotonic) propagates into the segment coder so an
+        expired request budget aborts the compression with
+        :class:`~repro.core.errors.TimeoutExceeded` instead of finishing
+        work nobody will acknowledge.
         """
         if self.quotas is not None:
             # Idempotent re-put: detect before reserving, so a duplicate
@@ -153,7 +158,8 @@ class BlockStore:
                     raise
             reserved = max(reserved, len(data))
         try:
-            record, stored = self._admit_file(name, data, tenant)
+            record, stored = self._admit_file(name, data, tenant,
+                                              deadline=deadline)
         except Exception:
             if self.quotas is not None:
                 self.quotas.release(tenant, reserved)
@@ -183,13 +189,14 @@ class BlockStore:
             pos += size
         return pos == len(data)
 
-    def _admit_file(self, name: str, data: bytes, tenant: str = "default"):
+    def _admit_file(self, name: str, data: bytes, tenant: str = "default",
+                    deadline: Optional[float] = None):
         """Admission proper; returns ``(record, stored_bytes)`` — ``record``
         is ``None`` when ``name`` was already stored byte-identically (the
         put is idempotent: no recompression, no re-charge)."""
         if self._is_duplicate_put(name, data):
             return None, 0
-        verified = self._compress_verified(name, data)
+        verified = self._compress_verified(name, data, deadline=deadline)
         if self.durable:
             return self._admit_durable(name, data, tenant, verified)
         keys = []
@@ -204,11 +211,13 @@ class BlockStore:
         self.files[name] = record
         return record, stored
 
-    def _compress_verified(self, name: str,
-                           data: bytes) -> List[Tuple[str, StoredChunk, bytes]]:
+    def _compress_verified(self, name: str, data: bytes,
+                           deadline: Optional[float] = None,
+                           ) -> List[Tuple[str, StoredChunk, bytes]]:
         """Compress ``data`` and run every chunk through the round-trip
         admission gate; pure compute, no store mutation."""
-        chunks = compress_chunked(data, self.chunk_size, self.config)
+        chunks = compress_chunked(data, self.chunk_size, self.config,
+                                  deadline=deadline)
         verified = []
         for chunk in chunks:
             a, b = chunk.original_range
@@ -429,7 +438,8 @@ class BlockStore:
         return entry
 
     def _verify_and_decode(self, key: str, entry: StoreEntry,
-                           payload: bytes) -> bytes:
+                           payload: bytes,
+                           deadline: Optional[float] = None) -> bytes:
         """Both integrity gates over one (possibly faulted) payload read."""
         if hashlib.md5(payload).hexdigest() != entry.payload_md5:
             raise IntegrityError(f"payload digest mismatch for {key[:12]}")
@@ -437,7 +447,13 @@ class BlockStore:
         if payload is not chunk.payload:
             chunk = StoredChunk(chunk.index, chunk.format, payload,
                                 chunk.original_range)
-        data = decompress_chunk(chunk)
+        if deadline is not None:
+            # The deadline-aware decode path: the streaming decoder takes
+            # the budget and cancels between row bands.
+            data = b"".join(decompress_chunks([chunk.payload],
+                                              deadline=deadline))
+        else:
+            data = decompress_chunk(chunk)
         if hashlib.sha256(data).hexdigest() != entry.original_sha256:
             raise IntegrityError(f"decode digest mismatch for {key[:12]}")
         return data
@@ -470,7 +486,7 @@ class BlockStore:
             return None
         return payload
 
-    def get_chunk(self, key: str) -> bytes:
+    def get_chunk(self, key: str, deadline: Optional[float] = None) -> bytes:
         """Retrieve and decode one chunk, verifying payload integrity.
 
         With recovery configured (``read_retry`` / ``keep_originals`` /
@@ -481,10 +497,12 @@ class BlockStore:
         """
         entry = self.entries[key]
         if not self._recovery_enabled:
-            return self._verify_and_decode(key, entry, entry.chunk.payload)
-        return self._read_chunk_recovered(key, entry)
+            return self._verify_and_decode(key, entry, entry.chunk.payload,
+                                           deadline=deadline)
+        return self._read_chunk_recovered(key, entry, deadline=deadline)
 
-    def _read_chunk_recovered(self, key: str, entry: StoreEntry) -> bytes:
+    def _read_chunk_recovered(self, key: str, entry: StoreEntry,
+                              deadline: Optional[float] = None) -> bytes:
         registry = get_registry()
         attempts = (self.read_retry.max_attempts
                     if self.read_retry is not None else 1)
@@ -496,7 +514,13 @@ class BlockStore:
                 payload = self._payload(key, entry)
                 if self.read_fault is not None:
                     payload = self.read_fault(key, payload, attempt)
-                return self._verify_and_decode(key, entry, payload)
+                return self._verify_and_decode(key, entry, payload,
+                                               deadline=deadline)
+            except TimeoutExceeded:
+                # A deadline abort is the *request* giving up, not the
+                # payload rotting: re-reading or serving the fallback
+                # would defeat the cancellation.
+                raise
             except (IntegrityError, LeptonError, BackendError,
                     zlib.error) as exc:
                 error = exc
@@ -523,7 +547,8 @@ class BlockStore:
         record = self.files[name]
         return b"".join(self.get_chunk(key) for key in record.chunk_keys)
 
-    def stream_chunk(self, key: str) -> Iterator[bytes]:
+    def stream_chunk(self, key: str,
+                     deadline: Optional[float] = None) -> Iterator[bytes]:
         """Decode one chunk as a stream of pieces (time-to-first-byte path).
 
         The payload digest is checked up front; the decode digest is
@@ -537,7 +562,7 @@ class BlockStore:
         if hashlib.md5(payload).hexdigest() != entry.payload_md5:
             raise IntegrityError(f"payload digest mismatch for {key[:12]}")
         digest = hashlib.sha256()
-        for piece in decompress_chunks([payload]):
+        for piece in decompress_chunks([payload], deadline=deadline):
             digest.update(piece)
             yield piece
         if digest.hexdigest() != entry.original_sha256:
@@ -570,7 +595,8 @@ class BlockStore:
         """
         yield from self.stream_range(name, 0, self.files[name].size)
 
-    def stream_range(self, name: str, start: int, stop: int) -> Iterator[bytes]:
+    def stream_range(self, name: str, start: int, stop: int,
+                     deadline: Optional[float] = None) -> Iterator[bytes]:
         """Stream the decoded bytes ``[start, stop)`` of a stored file.
 
         Chunk independence (§1, §3.4) is what makes this cheap: only the
@@ -580,7 +606,11 @@ class BlockStore:
         with recovery configured each chunk is verified *before* any of
         its bytes are yielded (the degraded-read contract forbids
         streaming bytes a later check could disown).  Feeds the same
-        ``blockstore.read.*`` histograms as whole-file reads.
+        ``blockstore.read.*`` histograms as whole-file reads.  ``deadline``
+        cancels the decode between row bands once it passes; the
+        ``store.stream.first`` kill point fires after the first verified
+        piece is handed to the caller — the mid-stream crash the live
+        chaos harness drills.
         """
         record = self.files[name]
         start = max(0, start)
@@ -592,8 +622,9 @@ class BlockStore:
         for key, a, b in self.chunk_spans(name):
             if b <= start or a >= stop:
                 continue
-            pieces = ([self.get_chunk(key)] if self._recovery_enabled
-                      else self.stream_chunk(key))
+            pieces = ([self.get_chunk(key, deadline=deadline)]
+                      if self._recovery_enabled
+                      else self.stream_chunk(key, deadline=deadline))
             pos = a
             for piece in pieces:
                 piece_start = pos
@@ -602,12 +633,15 @@ class BlockStore:
                 hi = min(stop, pos)
                 if hi <= lo:
                     continue
+                was_first = first
                 if first:
                     first = False
                     registry.histogram("blockstore.read.ttfb_seconds").observe(
                         time.monotonic() - begin  # lint: disable=D2
                     )
                 yield piece[lo - piece_start:hi - piece_start]
+                if was_first:
+                    self._reach("store.stream.first")
         registry.histogram("blockstore.read.seconds").observe(
             time.monotonic() - begin  # lint: disable=D2
         )

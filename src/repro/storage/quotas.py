@@ -80,13 +80,18 @@ class QuotaBoard:
         with self._lock:
             return self._usage(tenant)
 
-    def reserve(self, tenant: str, nbytes: int) -> None:
-        """Claim ``nbytes`` of logical budget or raise :class:`QuotaExceeded`."""
+    def reserve(self, tenant: str, nbytes: int, force: bool = False) -> None:
+        """Claim ``nbytes`` of logical budget or raise :class:`QuotaExceeded`.
+
+        ``force=True`` skips the limit check: crash recovery re-reserves
+        budget for upload sessions that were already admitted before the
+        crash — shrinking a limit must not strand a half-received upload.
+        """
         with self._lock:
             usage = self._usage(tenant)
             limit = self.limit_for(tenant)
             used = usage.logical_bytes + usage.reserved_bytes
-            if limit is not None and used + nbytes > limit:
+            if not force and limit is not None and used + nbytes > limit:
                 usage.rejections += 1
                 raise QuotaExceeded(tenant, nbytes, used, limit)
             usage.reserved_bytes += nbytes

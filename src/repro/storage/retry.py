@@ -113,6 +113,15 @@ class CircuitBreaker:
             self.state = BreakerState.OPEN
             self.opened_at = now
 
+    def retry_after(self, now: float) -> float:
+        """Seconds until an OPEN breaker would admit its half-open probe
+        (0.0 when traffic is already allowed).  The serve front-end turns
+        this into the ``Retry-After`` header, so clients back off exactly
+        as long as the breaker will actually refuse them."""
+        if self.state is not BreakerState.OPEN:
+            return 0.0
+        return max(0.0, self.reset_timeout - (now - self.opened_at))
+
 
 class BreakerBoard:
     """Per-target circuit breakers sharing one clock and one registry.
@@ -164,6 +173,10 @@ class BreakerBoard:
             self.registry.counter("breaker.trips", server=server_id).inc()
         self._export(server_id, breaker)
 
+    def retry_after(self, server_id: int) -> float:
+        """Seconds until ``server_id``'s breaker admits traffic again."""
+        return self.breaker(server_id).retry_after(self.clock.now)
+
     def open_count(self) -> int:
         """Targets currently refusing traffic (for the chaos report)."""
         return sum(
@@ -173,3 +186,16 @@ class BreakerBoard:
 
     def trip_count(self) -> int:
         return sum(b.trips for _, b in sorted(self._breakers.items()))
+
+    def describe(self) -> Dict[str, dict]:
+        """JSON-friendly per-target state (the ``/healthz`` surface)."""
+        return {
+            str(key): {
+                "state": breaker.state.name.lower(),
+                "failures": breaker.failures,
+                "trips": breaker.trips,
+                "retry_after": breaker.retry_after(self.clock.now),
+            }
+            for key, breaker in sorted(self._breakers.items(),
+                                       key=lambda kv: str(kv[0]))
+        }

@@ -6,7 +6,7 @@ import pytest
 
 from repro.cli import main
 from repro.faults.chaos import run_backend_chaos
-from repro.faults.killpoints import KILL_POINTS
+from repro.faults.killpoints import PUT_KILL_POINTS
 from repro.faults.plan import FaultPlan
 
 pytestmark = [pytest.mark.chaos, pytest.mark.durability]
@@ -38,9 +38,11 @@ class TestBackendChaosCommand:
         assert report["scrub_drill"]["wrong_bytes"] == 0
         assert report["scrub_drill"]["scrub_unrepairable"] == 0
         assert report["scrub_drill"]["second_pass_clean"] is True
-        # The sweep covers the whole registered kill-point set: adding a
-        # protocol step without sweeping it fails here.
-        assert set(report["kill_points"]) == set(KILL_POINTS)
+        # The sweep covers the whole durable-put partition: adding a
+        # put-protocol step without sweeping it fails here.  (The
+        # upload-session and read partitions are swept by
+        # tests/storage/test_upload_recovery.py and the live harness.)
+        assert set(report["kill_points"]) == set(PUT_KILL_POINTS)
         assert all(v in ("rolled_back", "redone")
                    for v in report["kill_points"].values())
 
@@ -64,7 +66,7 @@ def test_durability_report_verdict_gates():
 
     good = DurabilityReport(
         seed=0, replicas=3, plan_summary={},
-        kill_points={p: "rolled_back" for p in KILL_POINTS},
+        kill_points={p: "rolled_back" for p in PUT_KILL_POINTS},
         second_pass_clean=True, replicas_converged=True)
     assert good.durable
     for breakage in (
@@ -77,7 +79,7 @@ def test_durability_report_verdict_gates():
     ):
         bad = DurabilityReport(
             seed=0, replicas=3, plan_summary={},
-            kill_points={p: "redone" for p in KILL_POINTS},
+            kill_points={p: "redone" for p in PUT_KILL_POINTS},
             second_pass_clean=True, replicas_converged=True)
         for field_name, value in breakage.items():
             setattr(bad, field_name, value)

@@ -1,0 +1,102 @@
+"""The live kill-and-recover drill: real processes, real SIGKILL.
+
+The in-process chaos suite proves the *logic* recovers; this one proves
+the *deployment* does — ``repro.faults.livechaos`` boots genuine
+``lepton serve`` subprocesses, SIGKILLs them at armed kill points
+mid-upload and mid-stream, restarts over the same data directory, and
+demands every acknowledged byte back.  Marked ``live_chaos`` because it
+forks servers and sleeps through restarts: run with ``-m live_chaos``
+or ``make live-chaos`` (the full 17-point sweep is ``lepton chaos
+--live``).
+
+The report tests below are plain unit tests (no subprocesses): the
+rendered output must be byte-reproducible for a seed, because the drill
+doubles as a regression artifact (benchmarks/results/).
+"""
+
+import pytest
+
+from repro.faults.livechaos import REDUCED_SWEEP, run_live_chaos
+from repro.faults.report import LiveChaosReport
+
+
+@pytest.mark.live_chaos
+def test_reduced_live_sweep_is_survivable(tmp_path):
+    """One point per partition — part-append (upload), durable-put
+    commit (journal), first streamed piece (read) — through the whole
+    kill → restart → resume → verify cycle."""
+    report = run_live_chaos(points=REDUCED_SWEEP, seed=0,
+                            base_dir=str(tmp_path))
+    assert report.points == {point: "survived" for point in REDUCED_SWEEP}
+    assert report.wrong_bytes == 0
+    assert report.lost_acked_bytes == 0
+    assert report.uploads_interrupted == 2   # the two non-read points
+    assert report.uploads_resumed == 2
+    assert report.reads_interrupted == 1     # store.stream.first
+    assert report.survivable
+
+
+def test_reduced_sweep_points_cover_each_partition():
+    from repro.faults.killpoints import (
+        KILL_POINTS,
+        PUT_KILL_POINTS,
+        READ_KILL_POINTS,
+        UPLOAD_KILL_POINTS,
+    )
+
+    assert set(REDUCED_SWEEP) <= set(KILL_POINTS)
+    assert set(REDUCED_SWEEP) & set(UPLOAD_KILL_POINTS)
+    assert set(REDUCED_SWEEP) & set(PUT_KILL_POINTS)
+    assert set(REDUCED_SWEEP) & set(READ_KILL_POINTS)
+
+
+def _report(**overrides):
+    fields = dict(seed=3, file_bytes=48_000, upload_bytes=120_000,
+                  part_size=24_000, downtime_bound=60.0)
+    fields.update(overrides)
+    report = LiveChaosReport(**fields)
+    report.points = dict(overrides.get("points",
+                                       {p: "survived" for p in REDUCED_SWEEP}))
+    return report
+
+
+def test_report_render_is_byte_reproducible():
+    """Two reports built from the same inputs render identically: no
+    wall-clock, ports, or paths may leak into the artifact (timings are
+    folded into the ``*_bounded`` booleans before rendering)."""
+    one = _report(uploads_interrupted=2, uploads_resumed=2,
+                  reads_interrupted=1)
+    two = _report(uploads_interrupted=2, uploads_resumed=2,
+                  reads_interrupted=1)
+    assert one.render() == two.render()
+    assert one.to_json() == two.to_json()
+    rendered = one.render()
+    assert "survivable: True" in rendered
+    for banned in ("/tmp", "127.0.0.1", "seconds elapsed"):
+        assert banned not in rendered
+
+
+def test_report_survivable_demands_every_clause():
+    healthy = _report(uploads_interrupted=2, uploads_resumed=2)
+    assert healthy.survivable
+    assert not _report(points={"upload.part.post": "not_killed"}).survivable
+    assert not _report(wrong_bytes=1, uploads_resumed=0).survivable
+    assert not _report(lost_acked_bytes=7, uploads_resumed=0).survivable
+    assert not _report(uploads_interrupted=2, uploads_resumed=1).survivable
+    assert not _report(uploads_interrupted=1, uploads_resumed=1,
+                       downtime_bounded=False).survivable
+    assert not _report(uploads_interrupted=1, uploads_resumed=1,
+                       retries_bounded=False).survivable
+    empty = LiveChaosReport(seed=0, file_bytes=1, upload_bytes=1,
+                            part_size=1, downtime_bound=1.0)
+    assert not empty.survivable  # an empty sweep proves nothing
+
+
+def test_report_to_dict_round_trips_the_verdict():
+    report = _report(uploads_interrupted=2, uploads_resumed=2,
+                     reads_interrupted=1)
+    payload = report.to_dict()
+    assert payload["survivable"] is True
+    assert payload["kill_points"] == report.points
+    assert payload["seed"] == 3
+    assert payload["outcome"]["lost_acked_bytes"] == 0

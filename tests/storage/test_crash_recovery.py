@@ -1,18 +1,28 @@
 """Crash-recovery sweep: kill the durable put protocol at EVERY registered
 point and prove recovery (docs/durability.md, §5.7).
 
-The sweep is parametrized over :data:`repro.faults.killpoints.KILL_POINTS`
-itself, so registering a new protocol step automatically extends the
-sweep — and :func:`test_workload_visits_every_kill_point` fails if a
-registered point is never reached, so a dead name cannot hide either.
+The put sweep is parametrized over
+:data:`repro.faults.killpoints.PUT_KILL_POINTS` itself, so registering a
+new protocol step automatically extends the sweep (the upload-session
+partition has its own sweep in ``test_upload_recovery.py``) — and
+:func:`test_workload_visits_every_kill_point` fails if ANY registered
+point, in any partition, is never reached, so a dead name cannot hide
+either.
 """
 
 import pytest
 
 from repro.corpus.builder import corpus_jpeg
-from repro.faults.killpoints import KILL_POINTS, KillPointError, KillPoints
+from repro.faults.killpoints import (
+    KILL_POINTS,
+    PUT_KILL_POINTS,
+    KillPointError,
+    KillPoints,
+)
 from repro.storage.blockstore import file_blob_key, open_durable_store
+from repro.storage.journal import Journal
 from repro.storage.quotas import QuotaBoard
+from repro.storage.uploads import UploadLedger
 
 pytestmark = pytest.mark.durability
 
@@ -45,13 +55,26 @@ def test_kill_point_registry_is_big_enough():
 
 
 def test_workload_visits_every_kill_point(tmp_path):
-    """A traced (unarmed) put must pass every registered point: a point
-    nobody visits is a point nobody crash-tests."""
+    """A traced (unarmed) workload must pass every registered point: a
+    point nobody visits is a point nobody crash-tests.  One put covers
+    the put partition, one streamed read covers the read partition, and
+    one create→append→finalize upload covers the session partition."""
     kill = KillPoints()
     store = _open(tmp_path, kill=kill)
-    store.put_file("a.jpg", _jpeg(21))
+    data = _jpeg(21)
+    store.put_file("a.jpg", data)
+    assert b"".join(store.stream_range("a.jpg", 0, len(data))) == data
+    uploads = UploadLedger(
+        backend=store.backend,
+        journal=Journal(str(tmp_path / "uploads.wal"), kill=kill),
+        kill=kill,
+    )
+    session = uploads.create("t1", len(data))
+    uploads.append(session.upload_id, 0, data)
+    uploads.finalize(session.upload_id, store)
     assert kill.seen == set(KILL_POINTS)
     assert kill.fired == ()
+    uploads.journal.close()
     store.journal.close()
 
 
@@ -63,7 +86,7 @@ def test_unknown_kill_point_is_rejected():
         kill.reach("journal.fsync.imaginary")
 
 
-@pytest.mark.parametrize("point", KILL_POINTS)
+@pytest.mark.parametrize("point", PUT_KILL_POINTS)
 def test_crash_at_every_point_recovers(tmp_path, point):
     """The §5.7 proof, one power cut per protocol step.
 

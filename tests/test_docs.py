@@ -195,6 +195,36 @@ def test_every_serve_metric_is_documented_and_vice_versa(small_jpeg):
     )
 
 
+def test_healthz_carries_the_documented_sections(small_jpeg):
+    """docs/serve.md names the /healthz sections (`breakers` board with
+    per-route state, `uploads` progress counters); a live response must
+    really carry them, with exactly the documented keys."""
+    import asyncio
+
+    from repro.serve import LeptonServer, ServeClient, ServeConfig
+
+    async def _main():
+        server = LeptonServer(ServeConfig(chunk_size=4096))
+        await server.start()
+        try:
+            async with ServeClient("127.0.0.1", server.port) as client:
+                put = await client.put_file(small_jpeg)
+                await client.get_file(put.json()["id"])
+                return (await client.request("GET", "/healthz")).json()
+        finally:
+            await server.drain()
+
+    health = asyncio.run(_main())
+    assert set(health["uploads"]) == {"open", "completed", "recovered",
+                                      "dropped_parts"}
+    board = health["breakers"]
+    assert board, "no breaker entries after data-plane traffic"
+    for route, entry in board.items():
+        assert route.startswith("/"), route
+        assert set(entry) == {"state", "failures", "trips", "retry_after"}
+        assert entry["state"] in ("closed", "open", "half_open")
+
+
 def test_documented_codec_metrics_are_emitted(small_jpeg):
     """The reverse direction, for the core codec table: the contract's
     headline metrics really exist after one compress+decompress."""
